@@ -1,0 +1,142 @@
+//! Criterion microbenchmarks of the simulator substrates.
+//!
+//! These measure *simulator* throughput (host time), complementing the
+//! experiment binaries which measure *simulated* performance. They catch
+//! regressions in the hot paths: cache lookups, fingerprint hashing, memory
+//! accesses, core ticks and whole-system ticks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use reunion_core::{CmpSystem, ExecutionMode, SystemConfig};
+use reunion_cpu::{Core, CoreConfig};
+use reunion_fingerprint::{Crc, FingerprintUnit, TwoStageCompressor, UpdateRecord};
+use reunion_isa::{Addr, Instruction, Program, RegId};
+use reunion_kernel::Cycle;
+use reunion_mem::{CacheArray, MemConfig, MemorySystem, Owner, PhantomStrength};
+use reunion_workloads::Workload;
+
+fn bench_cache_array(c: &mut Criterion) {
+    let mut cache: CacheArray<u8> = CacheArray::new(1024, 2);
+    for line in 0..1024u64 {
+        cache.insert(line, 0);
+    }
+    let mut line = 0u64;
+    c.bench_function("cache_array_lookup_hit", |b| {
+        b.iter(|| {
+            line = (line + 7) % 1024;
+            black_box(cache.lookup(black_box(line)).is_some())
+        })
+    });
+    c.bench_function("cache_array_insert_evict", |b| {
+        b.iter(|| {
+            line = line.wrapping_add(4097);
+            black_box(cache.insert(black_box(line), 1))
+        })
+    });
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut crc = Crc::new_16();
+    c.bench_function("crc16_consume_u64", |b| {
+        b.iter(|| {
+            crc.consume_u64(black_box(0xDEAD_BEEF_CAFE_F00D));
+            black_box(crc.value())
+        })
+    });
+    let mut unit = FingerprintUnit::new(16);
+    let rec = UpdateRecord::load(3, 42, 0x1000);
+    c.bench_function("fingerprint_absorb_emit", |b| {
+        b.iter(|| {
+            unit.absorb(black_box(&rec));
+            black_box(unit.emit())
+        })
+    });
+    let mut two = TwoStageCompressor::new(16);
+    let words = [1u64, 2, 3, 4];
+    c.bench_function("two_stage_absorb_cycle", |b| {
+        b.iter(|| {
+            two.absorb_cycle(black_box(&words));
+        })
+    });
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut mem = MemorySystem::new(MemConfig::default());
+    let vocal = mem.register_l1(Owner::vocal(0));
+    let mute = mem.register_l1(Owner::mute(0));
+    let mut now = 0u64;
+    let mut addr = 0u64;
+    c.bench_function("memsys_vocal_load", |b| {
+        b.iter(|| {
+            now += 1;
+            addr = addr.wrapping_add(4096) & 0xF_FFFF;
+            black_box(mem.load(
+                Cycle::new(now),
+                vocal,
+                Addr::new(addr),
+                PhantomStrength::Global,
+            ))
+        })
+    });
+    c.bench_function("memsys_phantom_load", |b| {
+        b.iter(|| {
+            now += 1;
+            addr = addr.wrapping_add(4096) & 0xF_FFFF;
+            black_box(mem.load(
+                Cycle::new(now),
+                mute,
+                Addr::new(addr),
+                PhantomStrength::Global,
+            ))
+        })
+    });
+}
+
+fn bench_core_tick(c: &mut Criterion) {
+    let program = Arc::new(
+        Program::new(
+            "bench",
+            vec![
+                Instruction::add_imm(RegId::new(1), RegId::new(1), 1),
+                Instruction::alu_imm(reunion_isa::AluOp::Xor, RegId::new(2), RegId::new(1), 3),
+                Instruction::jump(0),
+            ],
+        )
+        .unwrap(),
+    );
+    let mut mem = MemorySystem::new(MemConfig::small());
+    let l1 = mem.register_l1(Owner::vocal(0));
+    let mut core = Core::new(CoreConfig::default(), program, l1, 1);
+    let mut now = 0u64;
+    c.bench_function("core_tick_alu_loop", |b| {
+        b.iter(|| {
+            core.tick(Cycle::new(now), &mut mem);
+            now += 1;
+        })
+    });
+}
+
+fn bench_system_tick(c: &mut Criterion) {
+    let workload = Workload::by_name("sparse").unwrap();
+    let mut baseline = CmpSystem::new(
+        &SystemConfig::small_test(ExecutionMode::NonRedundant),
+        &workload,
+    );
+    c.bench_function("system_tick_nonredundant", |b| {
+        b.iter(|| baseline.tick())
+    });
+    let mut reunion = CmpSystem::new(
+        &SystemConfig::small_test(ExecutionMode::Reunion),
+        &workload,
+    );
+    c.bench_function("system_tick_reunion", |b| b.iter(|| reunion.tick()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache_array, bench_fingerprint, bench_memory_system, bench_core_tick, bench_system_tick
+}
+criterion_main!(benches);

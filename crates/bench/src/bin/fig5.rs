@@ -1,0 +1,40 @@
+//! Figure 5: baseline performance of Strict and Reunion, normalized to the
+//! non-redundant CMP, at a 10-cycle comparison latency.
+
+use reunion_bench::{banner, commercial_scientific_averages, sample_config, workloads};
+use reunion_core::{normalized_ipc, ExecutionMode, SystemConfig};
+
+fn main() {
+    banner(
+        "Figure 5",
+        "Normalized IPC of Strict and Reunion (10-cycle comparison latency)",
+    );
+    let sample = sample_config();
+    println!(
+        "{:<12} {:<11} {:>9} {:>9} {:>12} {:>9}",
+        "workload", "class", "strict", "reunion", "incoh/1M", "base-IPC"
+    );
+    let mut strict_rows = Vec::new();
+    let mut reunion_rows = Vec::new();
+    for w in workloads() {
+        let strict = normalized_ipc(&SystemConfig::table1(ExecutionMode::Strict), &w, &sample);
+        let reunion = normalized_ipc(&SystemConfig::table1(ExecutionMode::Reunion), &w, &sample);
+        println!(
+            "{:<12} {:<11} {:>9.3} {:>9.3} {:>12.1} {:>9.3}",
+            w.name(),
+            w.class().to_string(),
+            strict.normalized_ipc,
+            reunion.normalized_ipc,
+            reunion.model.incoherence_per_million(),
+            reunion.baseline.ipc,
+        );
+        strict_rows.push((w.class(), strict.normalized_ipc));
+        reunion_rows.push((w.class(), reunion.normalized_ipc));
+    }
+    let (sc, ss) = commercial_scientific_averages(&strict_rows);
+    let (rc, rs) = commercial_scientific_averages(&reunion_rows);
+    println!("--------------------------------------------------------------");
+    println!("average normalized IPC   commercial   scientific");
+    println!("  strict                 {sc:>10.3} {ss:>12.3}   (paper: 0.95 / 0.98)");
+    println!("  reunion                {rc:>10.3} {rs:>12.3}   (paper: 0.90 / 0.92)");
+}

@@ -1,0 +1,25 @@
+//! Table 2: application parameters of the workload suite.
+
+use reunion_bench::{banner, workloads};
+
+fn main() {
+    banner("Table 2", "Application parameters (synthetic suite)");
+    println!(
+        "{:<12} {:<11} {:>9} {:>9} {:>6} {:>7} {:>9} {:>10}",
+        "workload", "class", "priv(MB)", "shrd(MB)", "locks", "cs-len", "itlb/1M", "static-len"
+    );
+    for w in workloads() {
+        let s = w.spec();
+        println!(
+            "{:<12} {:<11} {:>9.1} {:>9.1} {:>6} {:>7} {:>9} {:>10}",
+            w.name(),
+            w.class().to_string(),
+            s.private_bytes as f64 / (1 << 20) as f64,
+            s.shared_bytes as f64 / (1 << 20) as f64,
+            s.locks,
+            s.critical_section_len,
+            s.itlb_miss_per_million,
+            w.program(0).len(),
+        );
+    }
+}

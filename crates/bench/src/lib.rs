@@ -1,0 +1,95 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation; this library holds the common run/print machinery.
+//! Run e.g. `cargo run --release -p reunion-bench --bin fig5`.
+//!
+//! Set `REUNION_FAST=1` to use a shortened sampling profile for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use reunion_core::{ClassSummary, SampleConfig};
+use reunion_workloads::{suite, Workload, WorkloadClass};
+
+/// The sampling profile used by all experiments: the paper's 100k-cycle
+/// warm-up and 50k-cycle windows, or a quick profile when `REUNION_FAST`
+/// is set.
+pub fn sample_config() -> SampleConfig {
+    if std::env::var("REUNION_FAST").is_ok() {
+        SampleConfig { warmup: 20_000, window: 20_000, windows: 2 }
+    } else {
+        SampleConfig { warmup: 100_000, window: 50_000, windows: 4 }
+    }
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("==============================================================");
+    println!("{id}: {caption}");
+    println!("==============================================================");
+}
+
+/// The workload suite in presentation order.
+pub fn workloads() -> Vec<Workload> {
+    suite()
+}
+
+/// Averages `(class, value)` pairs per class, in presentation order.
+pub fn class_averages(rows: &[(WorkloadClass, f64)]) -> Vec<(WorkloadClass, f64)> {
+    WorkloadClass::ALL
+        .iter()
+        .map(|&class| {
+            let mut summary = ClassSummary::new();
+            for &(c, v) in rows.iter().filter(|(c, _)| *c == class) {
+                summary.push(v);
+            }
+            (class, summary.mean())
+        })
+        .collect()
+}
+
+/// Averages values over the commercial (Web+OLTP+DSS) and scientific
+/// workloads, the paper's two headline groups.
+pub fn commercial_scientific_averages(rows: &[(WorkloadClass, f64)]) -> (f64, f64) {
+    let mut commercial = ClassSummary::new();
+    let mut scientific = ClassSummary::new();
+    for &(class, value) in rows {
+        if class.is_commercial() {
+            commercial.push(value);
+        } else {
+            scientific.push(value);
+        }
+    }
+    (commercial.mean(), scientific.mean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_averages_cover_all_classes() {
+        let rows = vec![
+            (WorkloadClass::Web, 0.9),
+            (WorkloadClass::Web, 0.8),
+            (WorkloadClass::Scientific, 0.5),
+        ];
+        let avgs = class_averages(&rows);
+        assert_eq!(avgs.len(), 4);
+        assert!((avgs[0].1 - 0.85).abs() < 1e-12);
+        assert_eq!(avgs[3].1, 0.5);
+    }
+
+    #[test]
+    fn commercial_scientific_split() {
+        let rows = vec![
+            (WorkloadClass::Oltp, 0.9),
+            (WorkloadClass::Dss, 0.7),
+            (WorkloadClass::Scientific, 0.5),
+        ];
+        let (c, s) = commercial_scientific_averages(&rows);
+        assert!((c - 0.8).abs() < 1e-12);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+}

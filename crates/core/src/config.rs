@@ -1,0 +1,139 @@
+//! System-level configuration.
+
+use reunion_cpu::{Consistency, TlbMode};
+use reunion_mem::{MemConfig, PhantomStrength};
+
+/// Which redundant execution model the CMP runs (§5.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// The non-redundant baseline CMP every figure normalizes against.
+    #[default]
+    NonRedundant,
+    /// Strict input replication: an oracle model of LVQ-style designs — the
+    /// trailing core observes exactly the leader's load values with no
+    /// input-replication penalty, but pays all checking costs.
+    Strict,
+    /// The Reunion execution model: relaxed input replication with
+    /// fingerprint checking and the re-execution protocol.
+    Reunion,
+}
+
+impl ExecutionMode {
+    /// Whether this mode runs two cores per logical processor.
+    pub fn is_redundant(self) -> bool {
+        !matches!(self, ExecutionMode::NonRedundant)
+    }
+
+    /// All modes, in the paper's presentation order.
+    pub const ALL: [ExecutionMode; 3] = [
+        ExecutionMode::NonRedundant,
+        ExecutionMode::Strict,
+        ExecutionMode::Reunion,
+    ];
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ExecutionMode::NonRedundant => "non-redundant",
+            ExecutionMode::Strict => "strict",
+            ExecutionMode::Reunion => "reunion",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Full configuration of a simulated CMP.
+///
+/// [`SystemConfig::table1`] reproduces the paper's system; tests use
+/// [`SystemConfig::small_test`] for speed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Execution model.
+    pub mode: ExecutionMode,
+    /// Number of logical processors (cores in non-redundant mode, pairs in
+    /// redundant modes). The paper simulates four.
+    pub logical_processors: usize,
+    /// One-way fingerprint comparison latency between paired cores, in
+    /// cycles (the x-axis of Figure 6).
+    pub comparison_latency: u64,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// TLB miss handling model.
+    pub tlb: TlbMode,
+    /// Memory consistency model.
+    pub consistency: Consistency,
+    /// Phantom request strength for mute fills (Reunion only).
+    pub phantom: PhantomStrength,
+    /// Instructions per fingerprint.
+    pub fingerprint_interval: u32,
+    /// Master seed: programs and per-pair decisions derive from it.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's Table 1 baseline with the given execution mode:
+    /// 4 logical processors, 10-cycle comparison latency, hardware TLB,
+    /// TSO, global phantom requests, per-instruction fingerprints.
+    pub fn table1(mode: ExecutionMode) -> Self {
+        SystemConfig {
+            mode,
+            logical_processors: 4,
+            comparison_latency: 10,
+            mem: MemConfig::default(),
+            tlb: TlbMode::default(),
+            consistency: Consistency::Tso,
+            phantom: PhantomStrength::Global,
+            fingerprint_interval: 1,
+            seed: 0x5EED_0001,
+        }
+    }
+
+    /// A reduced configuration (2 logical processors, small caches) for
+    /// unit and integration tests.
+    pub fn small_test(mode: ExecutionMode) -> Self {
+        SystemConfig {
+            mode,
+            logical_processors: 2,
+            comparison_latency: 10,
+            mem: MemConfig::small(),
+            tlb: TlbMode::default(),
+            consistency: Consistency::Tso,
+            phantom: PhantomStrength::Global,
+            fingerprint_interval: 1,
+            seed: 0x5EED_0002,
+        }
+    }
+
+    /// Total physical cores this configuration instantiates.
+    pub fn physical_cores(&self) -> usize {
+        if self.mode.is_redundant() {
+            self.logical_processors * 2
+        } else {
+            self.logical_processors
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let cfg = SystemConfig::table1(ExecutionMode::Reunion);
+        assert_eq!(cfg.logical_processors, 4);
+        assert_eq!(cfg.comparison_latency, 10);
+        assert_eq!(cfg.physical_cores(), 8);
+        let base = SystemConfig::table1(ExecutionMode::NonRedundant);
+        assert_eq!(base.physical_cores(), 4);
+    }
+
+    #[test]
+    fn mode_properties() {
+        assert!(!ExecutionMode::NonRedundant.is_redundant());
+        assert!(ExecutionMode::Strict.is_redundant());
+        assert!(ExecutionMode::Reunion.is_redundant());
+        assert_eq!(ExecutionMode::Reunion.to_string(), "reunion");
+    }
+}

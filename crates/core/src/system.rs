@@ -1,0 +1,370 @@
+//! Whole-CMP assembly and simulation loop.
+
+use std::sync::Arc;
+
+use reunion_cpu::{Core, CoreConfig};
+use reunion_kernel::Cycle;
+use reunion_mem::{MemorySystem, Owner};
+use reunion_workloads::Workload;
+
+use crate::{ExecutionMode, PairDriver, SystemConfig};
+
+/// One logical processor: a single core, or a redundant pair.
+#[derive(Debug)]
+enum Proc {
+    Single(Box<Core>),
+    Pair(Box<PairDriver>),
+}
+
+/// Aggregated system statistics over a measurement window.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SystemStats {
+    /// Retired user instructions summed over logical processors.
+    pub user_instructions: u64,
+    /// Elapsed cycles in the window.
+    pub cycles: u64,
+    /// Fingerprint mismatches (input incoherence events absent injected
+    /// errors).
+    pub mismatches: u64,
+    /// Recoveries begun.
+    pub recoveries: u64,
+    /// Phase-two recoveries.
+    pub phase2: u64,
+    /// Detected-unrecoverable failures.
+    pub failures: u64,
+    /// Synchronizing requests issued.
+    pub sync_requests: u64,
+    /// TLB misses (ITLB + DTLB) summed over vocal cores.
+    pub tlb_misses: u64,
+    /// Phantom requests that filled mute caches with arbitrary data.
+    pub phantom_garbage_fills: u64,
+}
+
+impl SystemStats {
+    /// Aggregate user IPC — the paper's performance metric ("aggregate user
+    /// instructions committed per cycle").
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.user_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Events per million user instructions (Table 3 normalization).
+    pub fn per_million(&self, events: u64) -> f64 {
+        if self.user_instructions == 0 {
+            0.0
+        } else {
+            events as f64 * 1.0e6 / self.user_instructions as f64
+        }
+    }
+}
+
+/// A simulated CMP running one workload under one execution model.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct CmpSystem {
+    mem: MemorySystem,
+    procs: Vec<Proc>,
+    now: Cycle,
+    window_start: Cycle,
+    user_at_window_start: u64,
+}
+
+impl CmpSystem {
+    /// Builds the system: memory hierarchy, cores, pairing, workload
+    /// programs and initial memory contents.
+    pub fn new(cfg: &SystemConfig, workload: &Workload) -> Self {
+        let mem_cfg = cfg.mem.clone().scaled_for_cores(cfg.physical_cores());
+        let mut mem = MemorySystem::new(mem_cfg);
+        for (addr, value) in workload.initial_memory() {
+            mem.poke(addr, value);
+        }
+
+        let core_cfg_base = CoreConfig {
+            checking: cfg.mode.is_redundant(),
+            phantom: cfg.phantom,
+            tlb: cfg.tlb,
+            consistency: cfg.consistency,
+            fingerprint_interval: cfg.fingerprint_interval,
+            itlb_miss_per_million: workload.spec().itlb_miss_per_million,
+            ..CoreConfig::default()
+        };
+
+        let mut procs = Vec::with_capacity(cfg.logical_processors);
+        for lp in 0..cfg.logical_processors {
+            let program = Arc::new(workload.program(lp));
+            let pair_seed = cfg.seed ^ (lp as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            match cfg.mode {
+                ExecutionMode::NonRedundant => {
+                    let l1 = mem.register_l1(Owner::vocal(lp as u8));
+                    let core = Core::new(core_cfg_base.clone(), program, l1, pair_seed);
+                    procs.push(Proc::Single(Box::new(core)));
+                }
+                ExecutionMode::Strict => {
+                    let vl1 = mem.register_l1(Owner::vocal(lp as u8));
+                    let ml1 = mem.register_l1(Owner::mute(lp as u8));
+                    let mut vocal =
+                        Core::new(core_cfg_base.clone(), program.clone(), vl1, pair_seed);
+                    vocal.set_lvq_producer(true);
+                    let mut mcfg = core_cfg_base.clone();
+                    mcfg.strict_lvq = true;
+                    let mut mute = Core::new(mcfg, program, ml1, pair_seed);
+                    mute.set_mute(true);
+                    procs.push(Proc::Pair(Box::new(PairDriver::new(
+                        vocal,
+                        mute,
+                        cfg.comparison_latency,
+                        true,
+                    ))));
+                }
+                ExecutionMode::Reunion => {
+                    let vl1 = mem.register_l1(Owner::vocal(lp as u8));
+                    let ml1 = mem.register_l1(Owner::mute(lp as u8));
+                    let vocal = Core::new(core_cfg_base.clone(), program.clone(), vl1, pair_seed);
+                    let mut mute = Core::new(core_cfg_base.clone(), program, ml1, pair_seed);
+                    mute.set_mute(true);
+                    procs.push(Proc::Pair(Box::new(PairDriver::new(
+                        vocal,
+                        mute,
+                        cfg.comparison_latency,
+                        false,
+                    ))));
+                }
+            }
+        }
+
+        CmpSystem {
+            mem,
+            procs,
+            now: Cycle::ZERO,
+            window_start: Cycle::ZERO,
+            user_at_window_start: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The memory system (stats inspection).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Number of logical processors.
+    pub fn logical_processors(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Direct access to a pair driver (fault injection, protocol tests).
+    ///
+    /// Returns `None` for non-redundant configurations.
+    pub fn pair_mut(&mut self, lp: usize) -> Option<&mut PairDriver> {
+        match &mut self.procs[lp] {
+            Proc::Pair(p) => Some(p),
+            Proc::Single(_) => None,
+        }
+    }
+
+    /// Direct access to a non-redundant core.
+    pub fn core_mut(&mut self, lp: usize) -> Option<&mut Core> {
+        match &mut self.procs[lp] {
+            Proc::Single(c) => Some(c),
+            Proc::Pair(_) => None,
+        }
+    }
+
+    /// Advances the whole CMP by one cycle.
+    pub fn tick(&mut self) {
+        for proc in &mut self.procs {
+            match proc {
+                Proc::Single(core) => core.tick(self.now, &mut self.mem),
+                Proc::Pair(pair) => pair.tick(self.now, &mut self.mem),
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Runs for `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Total retired user instructions across logical processors.
+    pub fn user_instructions(&self) -> u64 {
+        self.procs
+            .iter()
+            .map(|p| match p {
+                Proc::Single(core) => core.retired_user(),
+                Proc::Pair(pair) => pair.retired_user(),
+            })
+            .sum()
+    }
+
+    /// Delivers an external interrupt to logical processor `lp`, replicated
+    /// to both halves of a pair.
+    pub fn deliver_interrupt(&mut self, lp: usize) {
+        match &mut self.procs[lp] {
+            Proc::Single(core) => {
+                let at = core.next_interval_id() + 1;
+                core.schedule_interrupt_at(at);
+            }
+            Proc::Pair(pair) => pair.deliver_interrupt(),
+        }
+    }
+
+    /// Starts a measurement window: window-relative statistics are measured
+    /// from this point.
+    pub fn begin_window(&mut self) {
+        self.window_start = self.now;
+        self.user_at_window_start = 0;
+        for proc in &mut self.procs {
+            match proc {
+                Proc::Single(core) => {
+                    core.stats_mut().reset();
+                }
+                Proc::Pair(pair) => {
+                    pair.stats_mut().reset();
+                    pair.vocal_mut().stats_mut().reset();
+                    pair.mute_mut().stats_mut().reset();
+                }
+            }
+        }
+        self.mem.stats_mut().reset();
+    }
+
+    /// Collects statistics for the current window.
+    ///
+    /// Note: `user_instructions` here is window-relative, computed against
+    /// [`begin_window`](Self::begin_window).
+    pub fn window_stats(&self) -> SystemStats {
+        // `begin_window` resets the per-core counters, so the counters are
+        // already window-relative; the snapshot guards the case where no
+        // window was ever begun.
+        let mut stats = SystemStats {
+            user_instructions: self
+                .user_instructions()
+                .saturating_sub(self.user_at_window_start),
+            cycles: self.now.saturating_since(self.window_start),
+            ..SystemStats::default()
+        };
+        for proc in &self.procs {
+            match proc {
+                Proc::Single(core) => {
+                    stats.tlb_misses += core.stats().tlb_misses();
+                }
+                Proc::Pair(pair) => {
+                    stats.mismatches += pair.stats().mismatches.value();
+                    stats.recoveries += pair.stats().recoveries.value();
+                    stats.phase2 += pair.stats().phase2_recoveries.value();
+                    stats.failures += pair.stats().failures.value();
+                    stats.sync_requests += pair.stats().sync_requests.value();
+                    stats.tlb_misses += pair.vocal().stats().tlb_misses();
+                }
+            }
+        }
+        stats.phantom_garbage_fills = self.mem.stats().phantom_garbage_fills.value();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecutionMode;
+    use reunion_workloads::Workload;
+
+    fn moldyn() -> Workload {
+        Workload::by_name("moldyn").expect("suite workload")
+    }
+
+    #[test]
+    fn nonredundant_system_makes_progress() {
+        let cfg = SystemConfig::small_test(ExecutionMode::NonRedundant);
+        let mut sys = CmpSystem::new(&cfg, &moldyn());
+        sys.run(5_000);
+        assert!(sys.user_instructions() > 1_000);
+        assert!(sys.pair_mut(0).is_none());
+        assert!(sys.core_mut(0).is_some());
+    }
+
+    #[test]
+    fn reunion_system_makes_progress_and_recovers() {
+        let cfg = SystemConfig::small_test(ExecutionMode::Reunion);
+        let mut sys = CmpSystem::new(&cfg, &moldyn());
+        sys.run(20_000);
+        let stats = sys.window_stats();
+        assert!(stats.user_instructions > 1_000);
+        assert_eq!(stats.failures, 0, "no failures expected without errors");
+        assert!(sys.pair_mut(0).is_some());
+    }
+
+    #[test]
+    fn strict_system_never_observes_incoherence() {
+        let cfg = SystemConfig::small_test(ExecutionMode::Strict);
+        let mut sys = CmpSystem::new(&cfg, &moldyn());
+        sys.run(20_000);
+        let stats = sys.window_stats();
+        assert!(stats.user_instructions > 1_000);
+        assert_eq!(stats.mismatches, 0);
+    }
+
+    #[test]
+    fn redundant_modes_are_slower_than_baseline() {
+        let workload = moldyn();
+        let mut base = CmpSystem::new(&SystemConfig::small_test(ExecutionMode::NonRedundant), &workload);
+        let mut reunion = CmpSystem::new(&SystemConfig::small_test(ExecutionMode::Reunion), &workload);
+        base.run(15_000);
+        reunion.run(15_000);
+        assert!(
+            reunion.user_instructions() <= base.user_instructions(),
+            "reunion {} vs baseline {}",
+            reunion.user_instructions(),
+            base.user_instructions()
+        );
+    }
+
+    #[test]
+    fn window_accounting_is_relative() {
+        let cfg = SystemConfig::small_test(ExecutionMode::NonRedundant);
+        let mut sys = CmpSystem::new(&cfg, &moldyn());
+        sys.run(2_000);
+        sys.begin_window();
+        sys.run(1_000);
+        let stats = sys.window_stats();
+        assert_eq!(stats.cycles, 1_000);
+        assert!(stats.user_instructions > 0);
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn interrupt_delivery_does_not_derail_pairs() {
+        let cfg = SystemConfig::small_test(ExecutionMode::Reunion);
+        let mut sys = CmpSystem::new(&cfg, &moldyn());
+        sys.run(2_000);
+        sys.deliver_interrupt(0);
+        sys.deliver_interrupt(1);
+        sys.run(10_000);
+        let stats = sys.window_stats();
+        assert_eq!(stats.failures, 0);
+        assert!(stats.user_instructions > 1_000);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let stats = SystemStats {
+            user_instructions: 2_000_000,
+            cycles: 1_000_000,
+            mismatches: 4,
+            ..Default::default()
+        };
+        assert!((stats.ipc() - 2.0).abs() < 1e-12);
+        assert!((stats.per_million(stats.mismatches) - 2.0).abs() < 1e-12);
+    }
+}

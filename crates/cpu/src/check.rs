@@ -1,0 +1,80 @@
+//! The check-stage interface between a core and its pairing logic.
+
+use reunion_fingerprint::Fingerprint;
+use reunion_isa::{Addr, AtomicOp};
+use reunion_kernel::Cycle;
+
+/// A fingerprint emitted by a core's check stage at an interval boundary.
+///
+/// The pairing driver collects events from both cores, matches them by
+/// `(epoch, fingerprint.interval_id)`, compares hashes and instruction
+/// counts, and either grants release (match) or triggers recovery
+/// (mismatch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckEvent {
+    /// Recovery epoch: events from before a rollback are stale and must be
+    /// discarded by the driver.
+    pub epoch: u64,
+    /// The interval fingerprint (id, instruction count, hash).
+    pub fingerprint: Fingerprint,
+    /// When this core's fingerprint is available to send — the in-order
+    /// check time of the interval's last instruction.
+    pub ready_at: Cycle,
+    /// Whether the interval ends with a serializing instruction (ends the
+    /// interval early and stalls retirement for the full comparison).
+    pub serializing: bool,
+}
+
+/// Permission from the pairing driver for an interval to retire.
+///
+/// `at` is when the partner's fingerprint has arrived and been compared:
+/// `max(own_ready, partner_ready + comparison_latency)` from the perspective
+/// of the receiving core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReleaseGrant {
+    /// Recovery epoch the grant belongs to.
+    pub epoch: u64,
+    /// Interval being released.
+    pub interval_id: u64,
+    /// Earliest cycle at which instructions of the interval may retire.
+    pub at: Cycle,
+}
+
+/// A synchronizing-request demand raised by a core in single-step
+/// re-execution mode when it reaches the first load or atomic (Definition
+/// 11). The driver waits for both halves, performs one coherent
+/// [`sync_access`](reunion_mem::MemorySystem::sync_access), and fulfills
+/// both cores with the same value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncRequest {
+    /// Word-aligned effective address of the memory operation.
+    pub addr: Addr,
+    /// Read-modify-write semantics, if the instruction is an atomic.
+    pub rmw: Option<(AtomicOp, u64)>,
+    /// Cycle at which the core raised the request.
+    pub raised_at: Cycle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_and_grant_round_trip() {
+        let fp = Fingerprint { interval_id: 4, count: 1, hash: 0x1234 };
+        let ev = CheckEvent { epoch: 0, fingerprint: fp, ready_at: Cycle::new(10), serializing: false };
+        let grant = ReleaseGrant { epoch: ev.epoch, interval_id: ev.fingerprint.interval_id, at: Cycle::new(20) };
+        assert_eq!(grant.interval_id, 4);
+        assert!(grant.at > ev.ready_at);
+    }
+
+    #[test]
+    fn sync_request_carries_rmw() {
+        let req = SyncRequest {
+            addr: Addr::new(0x40),
+            rmw: Some((AtomicOp::Swap, 1)),
+            raised_at: Cycle::new(5),
+        };
+        assert!(req.rmw.is_some());
+    }
+}

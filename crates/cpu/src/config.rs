@@ -1,0 +1,132 @@
+//! Core configuration.
+
+use reunion_mem::PhantomStrength;
+
+/// TLB miss handling model (§5.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlbMode {
+    /// A hardware page walker refills the TLB; the missing access is simply
+    /// delayed by the walk latency.
+    Hardware {
+        /// Page-walk latency in cycles.
+        walk_latency: u64,
+    },
+    /// The UltraSPARC III software-managed "fast TLB miss handler": a trap
+    /// into a handler that performs three non-idempotent MMU accesses and a
+    /// return trap — five serializing instructions per miss.
+    Software,
+}
+
+impl Default for TlbMode {
+    fn default() -> Self {
+        TlbMode::Hardware { walk_latency: 30 }
+    }
+}
+
+/// Memory consistency model enforced at retirement (§5.5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Consistency {
+    /// Sun Total Store Order: stores drain in order through the store
+    /// buffer; only explicit membars serialize.
+    #[default]
+    Tso,
+    /// Sequential consistency: every store carries memory-barrier semantics
+    /// and therefore serializes retirement.
+    Sc,
+}
+
+/// Configuration of one processor core.
+///
+/// Defaults are Table 1: 4-wide dispatch/retirement, 256-entry RUU,
+/// 64-entry store buffer, 12-stage pipeline (the mispredict/refill penalty).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreConfig {
+    /// Dispatch and retirement width, instructions per cycle.
+    pub width: usize,
+    /// Register update unit (ROB) capacity.
+    pub rob_entries: usize,
+    /// Store buffer capacity (speculative region).
+    pub sb_entries: usize,
+    /// Pipeline refill penalty on a branch mispredict, in cycles.
+    pub mispredict_penalty: u64,
+    /// Whether retirement is gated by check-stage release grants (any
+    /// redundant execution model).
+    pub checking: bool,
+    /// Strict-input-replication mute: loads consume the vocal's values from
+    /// an ideal load-value queue instead of accessing the cache hierarchy.
+    pub strict_lvq: bool,
+    /// Phantom request strength used when this core's L1 is mute.
+    pub phantom: PhantomStrength,
+    /// TLB miss handling model.
+    pub tlb: TlbMode,
+    /// Synthetic ITLB miss rate per million fetched user instructions
+    /// (instruction-footprint effects; workload-dependent).
+    pub itlb_miss_per_million: u64,
+    /// Memory consistency model.
+    pub consistency: Consistency,
+    /// Instructions per fingerprint (the fingerprint interval, §4.3).
+    pub fingerprint_interval: u32,
+    /// Fingerprint CRC width in bits.
+    pub fingerprint_width: u32,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            width: 4,
+            rob_entries: 256,
+            sb_entries: 64,
+            mispredict_penalty: 12,
+            checking: false,
+            strict_lvq: false,
+            phantom: PhantomStrength::Global,
+            tlb: TlbMode::default(),
+            itlb_miss_per_million: 0,
+            consistency: Consistency::Tso,
+            fingerprint_interval: 1,
+            fingerprint_width: 16,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// A configuration with check-stage gating enabled (redundant modes).
+    pub fn checked(mut self) -> Self {
+        self.checking = true;
+        self
+    }
+
+    /// Whether a store serializes retirement under the configured
+    /// consistency model.
+    pub fn store_serializes(&self) -> bool {
+        matches!(self.consistency, Consistency::Sc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let cfg = CoreConfig::default();
+        assert_eq!(cfg.width, 4);
+        assert_eq!(cfg.rob_entries, 256);
+        assert_eq!(cfg.sb_entries, 64);
+        assert!(!cfg.checking);
+        assert_eq!(cfg.fingerprint_interval, 1);
+    }
+
+    #[test]
+    fn sc_makes_stores_serializing() {
+        let mut cfg = CoreConfig::default();
+        assert!(!cfg.store_serializes());
+        cfg.consistency = Consistency::Sc;
+        assert!(cfg.store_serializes());
+    }
+
+    #[test]
+    fn checked_builder() {
+        assert!(CoreConfig::default().checked().checking);
+    }
+}

@@ -1,0 +1,1285 @@
+//! The core pipeline: dispatch, execution timing, check and retirement.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use reunion_fingerprint::{FingerprintUnit, UpdateRecord};
+use reunion_isa::{
+    alu_compute, branch_decides, effective_address, Addr, ArchState, Instruction, Opcode,
+    Program, RegId,
+};
+use reunion_kernel::{Cycle, SimRng};
+use reunion_mem::{L1Id, MemorySystem};
+
+use crate::{
+    software_tlb_handler, CheckEvent, CoreConfig, CoreStats, Gshare, ReleaseGrant, SyncRequest,
+    Tlb, TlbMode,
+};
+
+/// Architectural effects carried by a ROB entry until retirement.
+#[derive(Clone, Copy, Debug)]
+struct RobEntry {
+    interval_id: u64,
+    user: bool,
+    serializing: bool,
+    /// Completion time (raw cycles); `u64::MAX` while awaiting a
+    /// synchronizing-request fulfillment.
+    completion: u64,
+    /// In-order check-stage time: running max of completions.
+    check_time: u64,
+    /// Register writeback applied to the retired ARF.
+    reg_write: Option<(RegId, u64)>,
+    /// Store drained to the memory system at retirement.
+    store: Option<(Addr, u64)>,
+    /// Vocal atomics take exclusive ownership at dispatch but apply their
+    /// memory write only at retirement, after output comparison (the update
+    /// must not be visible before it is checked): `(addr, op, operand,
+    /// value_read)`.
+    atomic_commit: Option<(Addr, reunion_isa::AtomicOp, u64, u64)>,
+    /// PC after this instruction (unchanged for injected handler code).
+    next_pc: usize,
+    /// Sequence number of the store for store-buffer bookkeeping.
+    seq: u64,
+}
+
+/// One out-of-order core attached to a private L1.
+///
+/// See the [crate docs](crate) for the modeling approach and an example.
+#[derive(Debug)]
+pub struct Core {
+    cfg: CoreConfig,
+    program: Arc<Program>,
+    l1: L1Id,
+
+    /// Speculative (dispatch-time) architectural state.
+    spec: ArchState,
+    /// Retired (safe) architectural state.
+    retired: ArchState,
+
+    rob: VecDeque<RobEntry>,
+    seq_next: u64,
+    epoch: u64,
+    reg_ready: [u64; 32],
+    last_check_time: u64,
+    fetch_free: u64,
+    halted: bool,
+
+    pending_stores: HashMap<u64, Vec<(u64, u64)>>,
+    sb_count: usize,
+    last_drain_done: u64,
+
+    fp: FingerprintUnit,
+    events: Vec<CheckEvent>,
+    grants: HashMap<(u64, u64), u64>,
+
+    lvq: VecDeque<u64>,
+    load_values_out: Vec<u64>,
+    lvq_producer: bool,
+    is_mute_l1: bool,
+
+    inject: VecDeque<Instruction>,
+    interrupt_at_interval: Option<u64>,
+
+    single_step: bool,
+    pending_sync: Option<SyncRequest>,
+    sync_pending_seq: Option<u64>,
+    /// A dispatched serializing instruction blocks all younger instructions
+    /// from entering the pipeline until it retires (§4.4).
+    serializing_block: bool,
+
+    dtlb: Tlb,
+    itlb_seed: u64,
+    user_fetch_index: u64,
+    user_retire_index: u64,
+    itlb_served: Option<u64>,
+
+    predictor: Gshare,
+
+    error_at: Option<(u64, u32)>,
+
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core running `program` through the L1 `l1`.
+    ///
+    /// `pair_seed` seeds deterministic per-pair decisions (synthetic ITLB
+    /// misses); both halves of a logical processor pair must receive the
+    /// same seed.
+    pub fn new(cfg: CoreConfig, program: Arc<Program>, l1: L1Id, pair_seed: u64) -> Self {
+        let fp_width = cfg.fingerprint_width;
+        let entry = program.entry();
+        Core {
+            cfg,
+            program,
+            l1,
+            spec: ArchState::new(entry),
+            retired: ArchState::new(entry),
+            rob: VecDeque::new(),
+            seq_next: 0,
+            epoch: 0,
+            reg_ready: [0; 32],
+            last_check_time: 0,
+            fetch_free: 0,
+            halted: false,
+            pending_stores: HashMap::new(),
+            sb_count: 0,
+            last_drain_done: 0,
+            fp: FingerprintUnit::new(fp_width),
+            events: Vec::new(),
+            grants: HashMap::new(),
+            lvq: VecDeque::new(),
+            load_values_out: Vec::new(),
+            lvq_producer: false,
+            is_mute_l1: false,
+            inject: VecDeque::new(),
+            interrupt_at_interval: None,
+            single_step: false,
+            pending_sync: None,
+            sync_pending_seq: None,
+            serializing_block: false,
+            dtlb: Tlb::new(512, 2),
+            itlb_seed: pair_seed,
+            user_fetch_index: 0,
+            user_retire_index: 0,
+            itlb_served: None,
+            predictor: Gshare::new(12),
+            error_at: None,
+            stats: CoreStats::new(),
+        }
+    }
+
+    /// Marks this core as the leading (vocal) side of a strict-input-
+    /// replication pair: every load/atomic value it binds is exported for
+    /// the trailing core's load-value queue.
+    pub fn set_lvq_producer(&mut self, on: bool) {
+        self.lvq_producer = on;
+    }
+
+    /// Declares that this core's L1 is a mute cache. Mute atomics update
+    /// the private view at read time and must not commit to coherent
+    /// memory at retirement.
+    pub fn set_mute(&mut self, on: bool) {
+        self.is_mute_l1 = on;
+    }
+
+    /// The L1 this core issues requests through.
+    pub fn l1(&self) -> L1Id {
+        self.l1
+    }
+
+    /// The current recovery epoch (incremented by every rollback).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the core has halted (program ran off its image or hit
+    /// `halt`).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Retired user (workload) instructions — the IPC numerator.
+    pub fn retired_user(&self) -> u64 {
+        self.stats.retired_user.value()
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (reset between measurement windows).
+    pub fn stats_mut(&mut self) -> &mut CoreStats {
+        &mut self.stats
+    }
+
+    /// DTLB miss count (for Table 3).
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// The retired (safe) architectural state.
+    pub fn arch_state(&self) -> &ArchState {
+        &self.retired
+    }
+
+    /// Overwrites the retired ARF and PC — the phase-two "copy vocal ARF to
+    /// mute" operation of the re-execution protocol (Definition 9).
+    pub fn copy_arch_state_from(&mut self, other: &ArchState) {
+        self.retired.restore(other);
+        self.spec.restore(other);
+    }
+
+    /// Drains fingerprints emitted since the last call (program order).
+    pub fn take_check_events(&mut self) -> Vec<CheckEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drains load values bound since the last call (for the strict-model
+    /// load-value queue).
+    pub fn take_load_values(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.load_values_out)
+    }
+
+    /// Appends values to this core's load-value queue (trailing core of the
+    /// strict model).
+    pub fn push_lvq(&mut self, values: impl IntoIterator<Item = u64>) {
+        self.lvq.extend(values);
+    }
+
+    /// Grants retirement permission for an interval (driver use).
+    pub fn grant(&mut self, grant: ReleaseGrant) {
+        if grant.epoch == self.epoch {
+            self.grants
+                .insert((grant.epoch, grant.interval_id), grant.at.as_u64());
+        }
+    }
+
+    /// The synchronizing request this core is blocked on, if any.
+    pub fn pending_sync(&self) -> Option<SyncRequest> {
+        self.pending_sync
+    }
+
+    /// Delivers the synchronizing-request value (driver use after
+    /// [`MemorySystem::sync_access`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no synchronizing request is pending.
+    pub fn fulfill_sync(&mut self, value: u64, done_at: Cycle) {
+        let req = self.pending_sync.take().expect("no pending sync request");
+        let seq = self.sync_pending_seq.take().expect("sync seq recorded");
+        let entry = self
+            .rob
+            .iter_mut()
+            .find(|e| e.seq == seq)
+            .expect("sync entry in ROB");
+        entry.completion = done_at.as_u64();
+        let ct = self.last_check_time.max(entry.completion);
+        entry.check_time = ct;
+        self.last_check_time = ct;
+        self.stats.sync_loads.incr();
+
+        // Functional effect: the destination register receives the single
+        // coherent value (the old memory value for atomics).
+        let mut record = UpdateRecord::load(0, value, req.addr.as_u64());
+        if let Some((dst, _)) = entry.reg_write {
+            self.spec.regs.write(dst, value);
+            entry.reg_write = Some((dst, value));
+            record.reg = Some((dst.index() as u8, value));
+            self.reg_ready[dst.index()] = entry.completion;
+        }
+        if let Some((op, operand)) = req.rmw {
+            record.data = Some(reunion_isa::atomic_update(op, value, operand));
+        }
+        if self.cfg.checking {
+            self.fp.absorb(&record);
+            self.emit_interval(true);
+        }
+    }
+
+    /// Enters the single-step phase of the re-execution protocol.
+    pub fn begin_single_step(&mut self) {
+        self.single_step = true;
+    }
+
+    /// Returns to normal speculative out-of-order execution.
+    pub fn end_single_step(&mut self) {
+        self.single_step = false;
+    }
+
+    /// Whether the core is single-stepping.
+    pub fn is_single_stepping(&self) -> bool {
+        self.single_step
+    }
+
+    /// Schedules the external-interrupt handler to run at the start of
+    /// fingerprint interval `interval_id` (the vocal core chooses the
+    /// interval; the driver replicates it to both cores, §4.3).
+    pub fn schedule_interrupt_at(&mut self, interval_id: u64) {
+        self.interrupt_at_interval = Some(interval_id);
+    }
+
+    /// The id of the next fingerprint interval (for interrupt scheduling).
+    pub fn next_interval_id(&self) -> u64 {
+        self.fp.next_interval_id()
+    }
+
+    /// Injects a single-bit soft error into the first user instruction with
+    /// a register destination at or after user-instruction index `index`
+    /// (flips `bit` of the result).
+    pub fn inject_soft_error_at(&mut self, index: u64, bit: u32) {
+        self.error_at = Some((index, bit % 64));
+    }
+
+    /// Retires every head-of-ROB instruction whose interval has already
+    /// compared successfully, ignoring release timing.
+    ///
+    /// Used at the start of rollback recovery: both cores of a pair have
+    /// compared the same set of intervals, but one may not have *applied*
+    /// them to its ARF yet (release times differ by the comparison
+    /// latency). Draining granted intervals first lands both cores on the
+    /// same safe-state boundary — the "identical safe states" the
+    /// re-execution protocol starts from.
+    pub fn drain_granted(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        while let Some(head) = self.rob.front() {
+            if head.completion == u64::MAX {
+                break;
+            }
+            if self.cfg.checking
+                && !self.grants.contains_key(&(self.epoch, head.interval_id))
+            {
+                break;
+            }
+            let entry = self.rob.pop_front().expect("head exists");
+            if let Some((dst, value)) = entry.reg_write {
+                self.retired.regs.write(dst, value);
+            }
+            self.retired.pc = entry.next_pc;
+            if let Some((addr, op, operand, old)) = entry.atomic_commit {
+                if !self.cfg.strict_lvq && !self.is_mute_l1 {
+                    mem.atomic_commit(self.l1, addr, op, operand, old);
+                }
+            }
+            if let Some((addr, value)) = entry.store {
+                if !self.cfg.strict_lvq {
+                    let acc = mem.drain_store(now, self.l1, addr, value);
+                    self.last_drain_done = self.last_drain_done.max(acc.done_at.as_u64());
+                }
+                self.sb_count = self.sb_count.saturating_sub(1);
+                if let Some(stack) = self.pending_stores.get_mut(&addr.word().as_u64()) {
+                    stack.retain(|&(seq, _)| seq != entry.seq);
+                    if stack.is_empty() {
+                        self.pending_stores.remove(&addr.word().as_u64());
+                    }
+                }
+            }
+            self.stats.retired_total.incr();
+            if entry.user {
+                self.stats.retired_user.incr();
+                self.user_retire_index += 1;
+            }
+            if entry.serializing {
+                self.stats.serializing.incr();
+                self.serializing_block = false;
+            }
+        }
+    }
+
+    /// Rolls the pipeline back to the retired (safe) state: flushes the ROB
+    /// and speculative store buffer, reverts speculatively-applied atomic
+    /// memory effects, squashes uncompared fingerprints, and restarts
+    /// interval numbering for the new recovery epoch.
+    pub fn rollback(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        // Unretired atomics never committed their memory write (the commit
+        // happens at retirement), so flushing the ROB discards them fully.
+        self.rob.clear();
+        self.pending_stores.clear();
+        self.sb_count = 0;
+        self.spec.restore(&self.retired);
+        self.fp.reset();
+        self.epoch += 1;
+        self.grants.clear();
+        self.events.clear();
+        self.inject.clear();
+        self.pending_sync = None;
+        self.sync_pending_seq = None;
+        self.serializing_block = false;
+        self.itlb_served = None;
+        self.user_fetch_index = self.user_retire_index;
+        self.reg_ready = [0; 32];
+        self.fetch_free = now.as_u64() + self.cfg.mispredict_penalty;
+        self.lvq.clear();
+        self.load_values_out.clear();
+        self.stats.rollbacks.incr();
+    }
+
+    /// Advances the core by one cycle: retire, then dispatch.
+    pub fn tick(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        self.retire(now, mem);
+        self.dispatch(now, mem);
+    }
+
+    // ------------------------------------------------------------------
+    // Retirement.
+    // ------------------------------------------------------------------
+
+    fn retire(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        let now_raw = now.as_u64();
+        let mut retired = 0;
+        while retired < self.cfg.width {
+            let Some(head) = self.rob.front() else { break };
+            if head.completion == u64::MAX || head.check_time > now_raw {
+                break;
+            }
+            if self.cfg.checking {
+                match self.grants.get(&(self.epoch, head.interval_id)) {
+                    Some(&at) if at <= now_raw => {}
+                    _ => break,
+                }
+            }
+            let entry = self.rob.pop_front().expect("head exists");
+
+            if let Some((dst, value)) = entry.reg_write {
+                self.retired.regs.write(dst, value);
+            }
+            self.retired.pc = entry.next_pc;
+            if let Some((addr, op, operand, old)) = entry.atomic_commit {
+                if !self.cfg.strict_lvq && !self.is_mute_l1 {
+                    mem.atomic_commit(self.l1, addr, op, operand, old);
+                }
+            }
+            if let Some((addr, value)) = entry.store {
+                if !self.cfg.strict_lvq {
+                    let acc = mem.drain_store(now, self.l1, addr, value);
+                    self.last_drain_done = self.last_drain_done.max(acc.done_at.as_u64());
+                } else {
+                    self.last_drain_done = self.last_drain_done.max(now_raw);
+                }
+                self.sb_count = self.sb_count.saturating_sub(1);
+                if let Some(stack) = self.pending_stores.get_mut(&addr.word().as_u64()) {
+                    stack.retain(|&(seq, _)| seq != entry.seq);
+                    if stack.is_empty() {
+                        self.pending_stores.remove(&addr.word().as_u64());
+                    }
+                }
+            }
+
+            self.stats.retired_total.incr();
+            if entry.user {
+                self.stats.retired_user.incr();
+                self.user_retire_index += 1;
+            }
+            if entry.serializing {
+                self.stats.serializing.incr();
+                self.serializing_block = false;
+            }
+            retired += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch: functional execution plus forward timing.
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        if self.halted {
+            return;
+        }
+        let now_raw = now.as_u64();
+        let mut dispatched = 0;
+        while dispatched < self.cfg.width {
+            if self.fetch_free > now_raw
+                || self.pending_sync.is_some()
+                || self.serializing_block
+                || self.rob.len() >= self.cfg.rob_entries
+                || (self.single_step && !self.rob.is_empty())
+            {
+                break;
+            }
+
+            // Interrupt delivery at the chosen interval boundary.
+            if self.inject.is_empty() {
+                if let Some(k) = self.interrupt_at_interval {
+                    if self.fp.next_interval_id() >= k && self.fp.pending() == 0 {
+                        self.interrupt_at_interval = None;
+                        self.inject.extend([
+                            Instruction::trap(),
+                            Instruction::nop(),
+                            Instruction::nop(),
+                            Instruction::trap(),
+                        ]);
+                    }
+                }
+            }
+
+            let from_inject = !self.inject.is_empty();
+            let inst = if from_inject {
+                *self.inject.front().expect("nonempty queue")
+            } else {
+                match self.program.fetch(self.spec.pc) {
+                    None => {
+                        self.halted = true;
+                        break;
+                    }
+                    Some(i) if i.op == Opcode::Halt => {
+                        self.halted = true;
+                        break;
+                    }
+                    Some(i) => *i,
+                }
+            };
+
+            let serializing = inst.op.is_serializing()
+                || (self.cfg.store_serializes() && inst.op == Opcode::Store);
+
+            if serializing {
+                // End the open fingerprint interval so older instructions
+                // can retire before the serializing instruction executes.
+                if self.cfg.checking && self.fp.pending() > 0 {
+                    self.emit_interval(false);
+                }
+                if !self.rob.is_empty() {
+                    break;
+                }
+            }
+            if inst.op.is_store() && self.sb_count >= self.cfg.sb_entries {
+                break;
+            }
+            // The trailing strict core consumes load values from the LVQ;
+            // it cannot dispatch a load the leader has not yet produced.
+            if self.cfg.strict_lvq
+                && inst.op.is_load()
+                && !(self.single_step && inst.op.is_load())
+                && self.lvq.is_empty()
+            {
+                break;
+            }
+
+            // ITLB (instruction-footprint model) for user instructions.
+            if !from_inject && self.itlb_miss_now() {
+                self.stats.itlb_misses.incr();
+                match self.cfg.tlb {
+                    TlbMode::Software => {
+                        self.inject.extend(software_tlb_handler());
+                        continue;
+                    }
+                    TlbMode::Hardware { walk_latency } => {
+                        self.fetch_free = now_raw + walk_latency;
+                        break;
+                    }
+                }
+            }
+
+            // DTLB for memory operations.
+            let mut tlb_walk = 0;
+            if inst.op.is_memory() {
+                let addr = effective_address(&inst, &self.spec);
+                if !self.dtlb.access(addr.page()) {
+                    self.stats.dtlb_misses.incr();
+                    match self.cfg.tlb {
+                        TlbMode::Software => {
+                            self.inject.extend(software_tlb_handler());
+                            continue;
+                        }
+                        TlbMode::Hardware { walk_latency } => tlb_walk = walk_latency,
+                    }
+                }
+            }
+
+            // Commit to dispatching this instruction.
+            if from_inject {
+                self.inject.pop_front();
+            }
+            let user = !from_inject;
+            let seq = self.seq_next;
+            self.seq_next += 1;
+
+            let operands_ready = inst
+                .sources()
+                .map(|r| self.reg_ready[r.index()])
+                .max()
+                .unwrap_or(0);
+            let exec_start = (now_raw + 1).max(operands_ready) + tlb_walk;
+
+            let pc_before = self.spec.pc;
+            let mut next_pc = if user { pc_before + 1 } else { pc_before };
+            let mut reg_write: Option<(RegId, u64)> = None;
+            let mut store: Option<(Addr, u64)> = None;
+            let mut atomic_commit: Option<(Addr, reunion_isa::AtomicOp, u64, u64)> = None;
+            let mut record = UpdateRecord::default();
+            let mut completion = exec_start + inst.op.exec_latency();
+            let mut awaiting_sync = false;
+
+            match inst.op {
+                Opcode::Nop | Opcode::Halt => {}
+                Opcode::LoadImm => {
+                    let dst = inst.dst.expect("li dst");
+                    let value = self.maybe_corrupt(user, inst.imm as u64);
+                    reg_write = Some((dst, value));
+                    record = UpdateRecord::reg(dst.index() as u8, value);
+                }
+                Opcode::Alu(op) => {
+                    let dst = inst.dst.expect("alu dst");
+                    let a = self.spec.regs.read(inst.src1.expect("alu src1"));
+                    let b = match inst.src2 {
+                        Some(r) => self.spec.regs.read(r),
+                        None => inst.imm as u64,
+                    };
+                    let value = self.maybe_corrupt(user, alu_compute(op, a, b));
+                    reg_write = Some((dst, value));
+                    record = UpdateRecord::reg(dst.index() as u8, value);
+                }
+                Opcode::Branch(cond) => {
+                    let v = inst.src1.map_or(0, |r| self.spec.regs.read(r));
+                    let taken = branch_decides(cond, v);
+                    if taken {
+                        next_pc = inst.imm as usize;
+                    }
+                    self.stats.branches.incr();
+                    let predicted = self.predictor.predict(pc_before as u64);
+                    self.predictor.update(pc_before as u64, taken);
+                    if predicted != taken {
+                        self.stats.mispredicts.incr();
+                        self.fetch_free = completion + self.cfg.mispredict_penalty;
+                    }
+                    record = UpdateRecord::branch(next_pc as u64);
+                }
+                Opcode::Load => {
+                    let dst = inst.dst.expect("load dst");
+                    let addr = effective_address(&inst, &self.spec);
+                    if self.single_step {
+                        // Re-execution protocol: the first memory read is
+                        // issued as a synchronizing request by both cores.
+                        self.pending_sync = Some(SyncRequest {
+                            addr,
+                            rmw: None,
+                            raised_at: now,
+                        });
+                        self.sync_pending_seq = Some(seq);
+                        reg_write = Some((dst, 0));
+                        completion = u64::MAX;
+                        awaiting_sync = true;
+                    } else {
+                        let (value, done) = self.load_value(now, mem, addr, exec_start);
+                        let value = self.maybe_corrupt(user, value);
+                        completion = done;
+                        self.spec.regs.write(dst, value);
+                        reg_write = Some((dst, value));
+                        record = UpdateRecord::load(dst.index() as u8, value, addr.as_u64());
+                        if self.lvq_producer {
+                            self.load_values_out.push(value);
+                        }
+                    }
+                }
+                Opcode::Store => {
+                    let addr = effective_address(&inst, &self.spec);
+                    let value = self.spec.regs.read(inst.src2.expect("store src2"));
+                    store = Some((addr, value));
+                    self.sb_count += 1;
+                    self.pending_stores
+                        .entry(addr.word().as_u64())
+                        .or_default()
+                        .push((seq, value));
+                    completion = exec_start + 1;
+                    record = UpdateRecord::store(addr.as_u64(), value);
+                }
+                Opcode::Atomic(op) => {
+                    let dst = inst.dst.expect("atomic dst");
+                    let addr = effective_address(&inst, &self.spec);
+                    let operand = self.spec.regs.read(inst.src2.expect("atomic src2"));
+                    if self.single_step {
+                        self.pending_sync = Some(SyncRequest {
+                            addr,
+                            rmw: Some((op, operand)),
+                            raised_at: now,
+                        });
+                        self.sync_pending_seq = Some(seq);
+                        reg_write = Some((dst, 0));
+                        completion = u64::MAX;
+                        awaiting_sync = true;
+                    } else if self.cfg.strict_lvq {
+                        let old = self.lvq.pop_front().unwrap_or(0);
+                        completion = exec_start + 4;
+                        self.spec.regs.write(dst, old);
+                        reg_write = Some((dst, old));
+                        record = UpdateRecord::load(dst.index() as u8, old, addr.as_u64());
+                        record.data = Some(reunion_isa::atomic_update(op, old, operand));
+                    } else {
+                        let acc = mem.atomic_read(
+                            Cycle::new(exec_start),
+                            self.l1,
+                            addr,
+                            op,
+                            operand,
+                            self.cfg.phantom,
+                        );
+                        let old = acc.value;
+                        completion = acc.done_at.as_u64();
+                        // Mute atomics update the private view at read time;
+                        // vocal atomics commit to memory at retirement.
+                        atomic_commit = Some((addr, op, operand, old));
+                        self.spec.regs.write(dst, old);
+                        reg_write = Some((dst, old));
+                        record = UpdateRecord::load(dst.index() as u8, old, addr.as_u64());
+                        record.data = Some(reunion_isa::atomic_update(op, old, operand));
+                        if self.lvq_producer {
+                            self.load_values_out.push(old);
+                        }
+                    }
+                }
+                Opcode::Membar => {
+                    completion = exec_start.max(self.last_drain_done);
+                    record = UpdateRecord::default();
+                }
+                Opcode::Trap => {
+                    record = UpdateRecord::default();
+                }
+                Opcode::MmuOp => {
+                    // Non-idempotent access: the address is checked before
+                    // execution (§4.4), so it enters the fingerprint.
+                    record = UpdateRecord {
+                        addr: Some(inst.imm as u64),
+                        ..Default::default()
+                    };
+                }
+            }
+
+            if let Some((dst, value)) = reg_write {
+                if !awaiting_sync {
+                    self.spec.regs.write(dst, value);
+                    self.reg_ready[dst.index()] = completion;
+                } else {
+                    self.reg_ready[dst.index()] = u64::MAX;
+                }
+            }
+            if user {
+                self.spec.pc = next_pc;
+                self.user_fetch_index += 1;
+            }
+
+            let check_time = if completion == u64::MAX {
+                u64::MAX
+            } else {
+                let ct = self.last_check_time.max(completion);
+                self.last_check_time = ct;
+                ct
+            };
+
+            let interval_id = self.fp.next_interval_id();
+            self.rob.push_back(RobEntry {
+                interval_id,
+                user,
+                serializing,
+                completion,
+                check_time,
+                reg_write,
+                store,
+                atomic_commit,
+                next_pc,
+                seq,
+            });
+
+            if self.cfg.checking && !awaiting_sync {
+                self.fp.absorb(&record);
+                let interval_full = self.fp.pending() >= self.cfg.fingerprint_interval;
+                if serializing || interval_full || self.single_step {
+                    self.emit_interval(serializing);
+                }
+            }
+
+            dispatched += 1;
+            if serializing {
+                self.serializing_block = true;
+                break;
+            }
+            if awaiting_sync {
+                break;
+            }
+        }
+    }
+
+    /// Binds a load value: store-buffer forwarding first, then the memory
+    /// system (coherent for vocal L1s, phantom for mute L1s, LVQ for the
+    /// strict trailing core). Returns `(value, completion_time)`.
+    fn load_value(
+        &mut self,
+        _now: Cycle,
+        mem: &mut MemorySystem,
+        addr: Addr,
+        exec_start: u64,
+    ) -> (u64, u64) {
+        // The strict trailing core bypasses the cache AND store-buffer
+        // interface in favour of the LVQ (§2.3) — and must always consume
+        // one queue entry to stay aligned with the leader.
+        if self.cfg.strict_lvq {
+            let value = self.lvq.pop_front().expect("LVQ checked before dispatch");
+            return (value, exec_start + mem.config().l1_hit_latency);
+        }
+        if let Some(stack) = self.pending_stores.get(&addr.word().as_u64()) {
+            if let Some(&(_, value)) = stack.last() {
+                self.stats.forwarded_loads.incr();
+                return (value, exec_start + mem.config().l1_hit_latency);
+            }
+        }
+        let acc = mem.load(Cycle::new(exec_start), self.l1, addr, self.cfg.phantom);
+        (acc.value, acc.done_at.as_u64())
+    }
+
+    fn emit_interval(&mut self, serializing: bool) {
+        let ready = Cycle::new(self.last_check_time);
+        let fingerprint = self.fp.emit();
+        self.stats.intervals.incr();
+        self.events.push(CheckEvent {
+            epoch: self.epoch,
+            fingerprint,
+            ready_at: ready,
+            serializing,
+        });
+    }
+
+    fn itlb_miss_now(&mut self) -> bool {
+        if self.cfg.itlb_miss_per_million == 0 {
+            return false;
+        }
+        let idx = self.user_fetch_index;
+        if self.itlb_served == Some(idx) {
+            return false;
+        }
+        let h = SimRng::hash_value(self.itlb_seed ^ idx.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let miss = h % 1_000_000 < self.cfg.itlb_miss_per_million;
+        if miss {
+            self.itlb_served = Some(idx);
+        }
+        miss
+    }
+
+    /// Applies a scheduled soft-error injection to a user-instruction
+    /// result.
+    fn maybe_corrupt(&mut self, user: bool, value: u64) -> u64 {
+        if !user {
+            return value;
+        }
+        if let Some((index, bit)) = self.error_at {
+            if self.user_fetch_index >= index {
+                self.error_at = None;
+                return value ^ (1u64 << bit);
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reunion_isa::{AtomicOp, BranchCond, Instruction as I};
+    use reunion_mem::{MemConfig, Owner};
+
+    fn r(i: u8) -> RegId {
+        RegId::new(i)
+    }
+
+    fn run_core(prog: Vec<I>, cycles: u64) -> (Core, MemorySystem) {
+        let program = Arc::new(Program::new("t", prog).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut core = Core::new(CoreConfig::default(), program, l1, 7);
+        for c in 0..cycles {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        (core, mem)
+    }
+
+    #[test]
+    fn straight_line_code_retires_and_matches_golden_model() {
+        let code = vec![
+            I::load_imm(r(1), 0x400),
+            I::load_imm(r(2), 21),
+            I::alu_imm(reunion_isa::AluOp::Mul, r(3), r(2), 2),
+            I::store(r(1), r(3), 0),
+            I::load(r(4), r(1), 0),
+            I::halt(),
+        ];
+        let (core, mem) = run_core(code, 2000);
+        assert!(core.is_halted());
+        assert_eq!(core.retired_user(), 5);
+        assert_eq!(core.arch_state().regs.read(r(4)), 42);
+        assert_eq!(mem.peek_coherent(Addr::new(0x400)), 42);
+    }
+
+    #[test]
+    fn loop_retires_many_instructions() {
+        // r1 starts at 0, counts up forever.
+        let code = vec![I::add_imm(r(1), r(1), 1), I::jump(0)];
+        let (core, _) = run_core(code, 3000);
+        assert!(core.retired_user() > 1000, "retired {}", core.retired_user());
+        // IPC sanity: 4-wide core on a dependent chain + jump: > 0.5 IPC.
+        assert!(core.retired_user() > 1500);
+    }
+
+    #[test]
+    fn store_load_forwarding_is_used() {
+        let code = vec![
+            I::load_imm(r(1), 0x800),
+            I::load_imm(r(2), 5),
+            I::store(r(1), r(2), 0),
+            I::load(r(3), r(1), 0), // should forward
+            I::halt(),
+        ];
+        let (core, _) = run_core(code, 2000);
+        assert_eq!(core.arch_state().regs.read(r(3)), 5);
+        assert!(core.stats().forwarded_loads.value() >= 1);
+    }
+
+    #[test]
+    fn membar_waits_for_drain_and_serializes() {
+        let code = vec![
+            I::load_imm(r(1), 0x900),
+            I::load_imm(r(2), 1),
+            I::store(r(1), r(2), 0),
+            I::membar(),
+            I::add_imm(r(3), r(3), 1),
+            I::halt(),
+        ];
+        let (core, mem) = run_core(code, 4000);
+        assert!(core.is_halted());
+        assert_eq!(core.stats().serializing.value(), 1);
+        assert_eq!(mem.peek_coherent(Addr::new(0x900)), 1);
+    }
+
+    #[test]
+    fn atomic_swap_applies_and_serializes() {
+        let code = vec![
+            I::load_imm(r(1), 0xA00),
+            I::load_imm(r(2), 1),
+            I::atomic(AtomicOp::Swap, r(3), r(1), r(2), 0),
+            I::halt(),
+        ];
+        let (core, mem) = run_core(code, 4000);
+        assert_eq!(mem.peek_coherent(Addr::new(0xA00)), 1);
+        assert_eq!(core.stats().serializing.value(), 1);
+        // dst got the old value (uninitialized hash, but deterministic).
+        let old = core.arch_state().regs.read(r(3));
+        assert_eq!(old, reunion_isa::SparseMemory::uninit_value(0xA00));
+    }
+
+    #[test]
+    fn branch_loop_counts_mispredicts_eventually_learns() {
+        // Alternating branch pattern to exercise the predictor.
+        let code = vec![
+            I::add_imm(r(1), r(1), 1),
+            I::alu_imm(reunion_isa::AluOp::And, r(2), r(1), 1),
+            I::branch(BranchCond::Nez, r(2), 0),
+            I::jump(0),
+        ];
+        let (core, _) = run_core(code, 3000);
+        assert!(core.stats().branches.value() > 100);
+        // Some mispredicts must occur on a data-dependent pattern.
+        assert!(core.stats().mispredicts.value() > 0);
+    }
+
+    #[test]
+    fn rollback_restores_retired_state() {
+        let code = vec![I::add_imm(r(1), r(1), 1), I::jump(0)];
+        let program = Arc::new(Program::new("rb", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut core = Core::new(CoreConfig::default(), program, l1, 7);
+        for c in 0..100 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        let retired_r1 = core.arch_state().regs.read(r(1));
+        let epoch_before = core.epoch();
+        core.rollback(Cycle::new(100), &mut mem);
+        assert_eq!(core.epoch(), epoch_before + 1);
+        assert_eq!(core.arch_state().regs.read(r(1)), retired_r1);
+        // Continue executing after rollback.
+        for c in 101..300 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        assert!(core.arch_state().regs.read(r(1)) > retired_r1);
+    }
+
+    #[test]
+    fn unretired_atomic_never_reaches_memory() {
+        let code = vec![
+            I::load_imm(r(1), 0xB00),
+            I::load_imm(r(2), 1),
+            I::atomic(AtomicOp::Swap, r(3), r(1), r(2), 0),
+            I::jump(2),
+        ];
+        let program = Arc::new(Program::new("rv", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        mem.poke(Addr::new(0xB00), 0);
+        let l1 = mem.register_l1(Owner::vocal(0));
+        // Use checking mode so the atomic stays unretired: grant the two
+        // leading load_imms (so the serializing atomic can dispatch) but
+        // never grant the atomic's own interval.
+        let cfg = CoreConfig::default().checked();
+        let mut core = Core::new(cfg, program, l1, 7);
+        for c in 0..500 {
+            core.tick(Cycle::new(c), &mut mem);
+            for ev in core.take_check_events() {
+                if ev.fingerprint.interval_id < 2 {
+                    core.grant(ReleaseGrant {
+                        epoch: ev.epoch,
+                        interval_id: ev.fingerprint.interval_id,
+                        at: ev.ready_at,
+                    });
+                }
+            }
+        }
+        // The atomic dispatched but cannot retire ungranted: its memory
+        // write must not be visible (Definition 7).
+        assert_eq!(mem.peek_coherent(Addr::new(0xB00)), 0);
+        core.rollback(Cycle::new(500), &mut mem);
+        assert_eq!(mem.peek_coherent(Addr::new(0xB00)), 0);
+        // Once granted and retired, the commit lands.
+        for c in 501..1200 {
+            core.tick(Cycle::new(c), &mut mem);
+            for ev in core.take_check_events() {
+                core.grant(ReleaseGrant {
+                    epoch: ev.epoch,
+                    interval_id: ev.fingerprint.interval_id,
+                    at: ev.ready_at,
+                });
+            }
+        }
+        assert_eq!(mem.peek_coherent(Addr::new(0xB00)), 1);
+    }
+
+    #[test]
+    fn checking_mode_blocks_retirement_until_granted() {
+        let code = vec![I::add_imm(r(1), r(1), 1), I::jump(0)];
+        let program = Arc::new(Program::new("chk", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut core = Core::new(CoreConfig::default().checked(), program, l1, 7);
+        for c in 0..200 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        assert_eq!(core.retired_user(), 0, "nothing may retire without grants");
+        let events = core.take_check_events();
+        assert!(!events.is_empty());
+        // Grant everything generously and watch retirement proceed.
+        for ev in &events {
+            core.grant(ReleaseGrant {
+                epoch: ev.epoch,
+                interval_id: ev.fingerprint.interval_id,
+                at: ev.ready_at,
+            });
+        }
+        for c in 200..400 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        assert!(core.retired_user() > 0);
+    }
+
+    #[test]
+    fn software_tlb_miss_injects_serializing_handler() {
+        let code = vec![
+            I::load_imm(r(1), 0x10_0000),
+            I::load(r(2), r(1), 0),
+            I::halt(),
+        ];
+        let program = Arc::new(Program::new("tlb", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut cfg = CoreConfig::default();
+        cfg.tlb = TlbMode::Software;
+        let mut core = Core::new(cfg, program, l1, 7);
+        for c in 0..5000 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        assert!(core.is_halted());
+        assert_eq!(core.stats().dtlb_misses.value(), 1);
+        // 5 handler instructions retired beyond the 2 user instructions
+        // (halt stops fetch without retiring).
+        assert_eq!(core.retired_user(), 2);
+        assert_eq!(core.stats().retired_total.value(), 2 + 5);
+        assert_eq!(core.stats().serializing.value(), 5);
+    }
+
+    #[test]
+    fn hardware_tlb_miss_charges_latency_only() {
+        let code = vec![
+            I::load_imm(r(1), 0x10_0000),
+            I::load(r(2), r(1), 0),
+            I::halt(),
+        ];
+        let program = Arc::new(Program::new("tlbh", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut core = Core::new(CoreConfig::default(), program, l1, 7);
+        for c in 0..5000 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        assert_eq!(core.stats().dtlb_misses.value(), 1);
+        assert_eq!(core.stats().retired_total.value(), 2, "no injected handler");
+    }
+
+    #[test]
+    fn sc_consistency_serializes_stores() {
+        let code = vec![
+            I::load_imm(r(1), 0xC00),
+            I::store(r(1), r(1), 0),
+            I::store(r(1), r(1), 8),
+            I::halt(),
+        ];
+        let program = Arc::new(Program::new("sc", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut cfg = CoreConfig::default();
+        cfg.consistency = crate::Consistency::Sc;
+        let mut core = Core::new(cfg, program, l1, 7);
+        for c in 0..2000 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        assert!(core.is_halted());
+        assert_eq!(core.stats().serializing.value(), 2, "each store serializes under SC");
+    }
+
+    #[test]
+    fn soft_error_corrupts_result() {
+        let code = vec![I::load_imm(r(1), 100), I::halt()];
+        let program = Arc::new(Program::new("err", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut core = Core::new(CoreConfig::default(), program.clone(), l1, 7);
+        core.inject_soft_error_at(0, 3);
+        for c in 0..100 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        assert_eq!(core.arch_state().regs.read(r(1)), 100 ^ 8);
+    }
+
+    #[test]
+    fn single_step_raises_sync_on_first_load() {
+        let code = vec![
+            I::add_imm(r(1), r(1), 0xD00),
+            I::load(r(2), r(1), 0),
+            I::jump(0),
+        ];
+        let program = Arc::new(Program::new("ss", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        mem.poke(Addr::new(0xD00), 77);
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut core = Core::new(CoreConfig::default().checked(), program, l1, 7);
+        core.begin_single_step();
+        let mut cycle = 0;
+        // Drive with generous grants until the sync request appears.
+        while core.pending_sync().is_none() && cycle < 5000 {
+            core.tick(Cycle::new(cycle), &mut mem);
+            for ev in core.take_check_events() {
+                core.grant(ReleaseGrant {
+                    epoch: ev.epoch,
+                    interval_id: ev.fingerprint.interval_id,
+                    at: ev.ready_at,
+                });
+            }
+            cycle += 1;
+        }
+        let req = core.pending_sync().expect("sync raised");
+        assert_eq!(req.addr, Addr::new(0xD00));
+        assert!(req.rmw.is_none());
+        // Fulfill and verify the value lands in the register.
+        core.fulfill_sync(77, Cycle::new(cycle + 10));
+        for ev in core.take_check_events() {
+            core.grant(ReleaseGrant {
+                epoch: ev.epoch,
+                interval_id: ev.fingerprint.interval_id,
+                at: ev.ready_at,
+            });
+        }
+        for c in cycle..cycle + 200 {
+            core.tick(Cycle::new(c + 11), &mut mem);
+            for ev in core.take_check_events() {
+                core.grant(ReleaseGrant {
+                    epoch: ev.epoch,
+                    interval_id: ev.fingerprint.interval_id,
+                    at: ev.ready_at,
+                });
+            }
+        }
+        assert_eq!(core.arch_state().regs.read(r(2)), 77);
+        assert_eq!(core.stats().sync_loads.value(), 1);
+    }
+
+    #[test]
+    fn interval_grouping_respects_configured_interval() {
+        let code = vec![I::add_imm(r(1), r(1), 1), I::jump(0)];
+        let program = Arc::new(Program::new("iv", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut cfg = CoreConfig::default().checked();
+        cfg.fingerprint_interval = 8;
+        let mut core = Core::new(cfg, program, l1, 7);
+        for c in 0..100 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        let events = core.take_check_events();
+        assert!(!events.is_empty());
+        for ev in &events {
+            assert!(ev.fingerprint.count <= 8);
+        }
+        // Most intervals are full-size.
+        assert!(events.iter().filter(|e| e.fingerprint.count == 8).count() >= events.len() / 2);
+    }
+
+    #[test]
+    fn interrupt_handler_injected_at_interval() {
+        let code = vec![I::add_imm(r(1), r(1), 1), I::jump(0)];
+        let program = Arc::new(Program::new("irq", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut core = Core::new(CoreConfig::default(), program, l1, 7);
+        core.schedule_interrupt_at(0);
+        for c in 0..500 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        // Two traps retired from the handler.
+        assert!(core.stats().serializing.value() >= 2);
+        assert!(core.stats().retired_total.value() > core.retired_user());
+    }
+
+    #[test]
+    fn strict_lvq_consumes_provided_values() {
+        let code = vec![
+            I::load_imm(r(1), 0xE00),
+            I::load(r(2), r(1), 0),
+            I::halt(),
+        ];
+        let program = Arc::new(Program::new("lvq", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::mute(0));
+        let mut cfg = CoreConfig::default().checked();
+        cfg.strict_lvq = true;
+        let mut core = Core::new(cfg, program, l1, 7);
+        // Without LVQ data the load cannot dispatch.
+        for c in 0..100 {
+            core.tick(Cycle::new(c), &mut mem);
+            for ev in core.take_check_events() {
+                core.grant(ReleaseGrant {
+                    epoch: ev.epoch,
+                    interval_id: ev.fingerprint.interval_id,
+                    at: ev.ready_at,
+                });
+            }
+        }
+        assert!(!core.is_halted(), "load must stall on empty LVQ");
+        core.push_lvq([4242]);
+        for c in 100..400 {
+            core.tick(Cycle::new(c), &mut mem);
+            for ev in core.take_check_events() {
+                core.grant(ReleaseGrant {
+                    epoch: ev.epoch,
+                    interval_id: ev.fingerprint.interval_id,
+                    at: ev.ready_at,
+                });
+            }
+        }
+        assert!(core.is_halted());
+        assert_eq!(core.arch_state().regs.read(r(2)), 4242);
+    }
+
+    #[test]
+    fn lvq_producer_exports_load_values() {
+        let code = vec![
+            I::load_imm(r(1), 0xF00),
+            I::load(r(2), r(1), 0),
+            I::halt(),
+        ];
+        let program = Arc::new(Program::new("lvp", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        mem.poke(Addr::new(0xF00), 99);
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut core = Core::new(CoreConfig::default(), program, l1, 7);
+        core.set_lvq_producer(true);
+        for c in 0..1000 {
+            core.tick(Cycle::new(c), &mut mem);
+        }
+        assert_eq!(core.take_load_values(), vec![99]);
+    }
+}

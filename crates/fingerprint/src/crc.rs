@@ -1,0 +1,170 @@
+//! Table-driven CRC of configurable width.
+
+/// A byte-at-a-time CRC engine with a configurable width up to 32 bits.
+///
+/// Hardware fingerprint units use parallel CRC circuits (Albertengo & Sisto);
+/// functionally a CRC is a linear feedback shift register, which this
+/// software model reproduces exactly. The default polynomial for 16-bit
+/// operation is CCITT (0x1021).
+///
+/// # Examples
+///
+/// ```
+/// use reunion_fingerprint::Crc;
+///
+/// let mut crc = Crc::new_16();
+/// crc.consume(b"123456789");
+/// assert_eq!(crc.value(), 0x29B1); // CRC-16/CCITT-FALSE check value
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Crc {
+    width: u32,
+    table: Vec<u32>,
+    state: u32,
+    init: u32,
+}
+
+impl Crc {
+    /// Creates a CRC engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 32.
+    pub fn new(width: u32, polynomial: u32, init: u32) -> Self {
+        assert!((1..=32).contains(&width), "CRC width must be in 1..=32");
+        let mask: u32 = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        let top: u32 = 1 << (width - 1);
+        let mut table = vec![0u32; 256];
+        for (byte, slot) in table.iter_mut().enumerate() {
+            // MSB-first update over one input byte.
+            let mut reg = (byte as u32) << (width.saturating_sub(8));
+            for _ in 0..8 {
+                reg = if reg & top != 0 { (reg << 1) ^ polynomial } else { reg << 1 };
+            }
+            *slot = reg & mask;
+        }
+        Crc { width, table, state: init & mask, init: init & mask }
+    }
+
+    /// The standard 16-bit CCITT CRC used throughout the paper's analysis.
+    pub fn new_16() -> Self {
+        Crc::new(16, 0x1021, 0xFFFF)
+    }
+
+    /// The CRC register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    #[inline]
+    fn mask(&self) -> u32 {
+        if self.width == 32 {
+            u32::MAX
+        } else {
+            (1 << self.width) - 1
+        }
+    }
+
+    /// Feeds bytes into the register.
+    pub fn consume(&mut self, bytes: &[u8]) {
+        let mask = self.mask();
+        for &b in bytes {
+            let idx = if self.width >= 8 {
+                ((self.state >> (self.width - 8)) ^ b as u32) & 0xFF
+            } else {
+                // Narrow CRCs: fold the byte into the low bits.
+                (self.state ^ b as u32) & 0xFF
+            };
+            let shifted = if self.width >= 8 { self.state << 8 } else { 0 };
+            self.state = (shifted ^ self.table[idx as usize]) & mask;
+        }
+    }
+
+    /// Feeds a 64-bit word (big-endian byte order, matching the hardware's
+    /// fixed lane assignment).
+    pub fn consume_u64(&mut self, word: u64) {
+        self.consume(&word.to_be_bytes());
+    }
+
+    /// The current CRC register value.
+    pub fn value(&self) -> u32 {
+        self.state
+    }
+
+    /// Resets to the initial register value.
+    pub fn reset(&mut self) {
+        self.state = self.init;
+    }
+
+    /// Returns the register and resets — the per-interval emit operation.
+    pub fn finish(&mut self) -> u32 {
+        let v = self.state;
+        self.reset();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccitt_check_value() {
+        let mut crc = Crc::new_16();
+        crc.consume(b"123456789");
+        assert_eq!(crc.value(), 0x29B1);
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let mut a = Crc::new_16();
+        let mut b = Crc::new_16();
+        a.consume(b"ab");
+        b.consume(b"ba");
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn finish_resets() {
+        let mut crc = Crc::new_16();
+        crc.consume(b"xyz");
+        let v1 = crc.finish();
+        crc.consume(b"xyz");
+        let v2 = crc.finish();
+        assert_eq!(v1, v2);
+        assert_eq!(crc.value(), 0xFFFF);
+    }
+
+    #[test]
+    fn value_fits_width() {
+        for width in [8u32, 12, 16, 24, 32] {
+            let mut crc = Crc::new(width, 0x1021, 0);
+            crc.consume_u64(0xDEAD_BEEF_CAFE_F00D);
+            if width < 32 {
+                assert!(crc.value() < (1 << width), "width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_words_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        let mut collisions = 0;
+        for i in 0..4096u64 {
+            let mut crc = Crc::new_16();
+            crc.consume_u64(i);
+            if !seen.insert(crc.value()) {
+                collisions += 1;
+            }
+        }
+        // 4096 samples into 65536 buckets: expect ~128 collisions by
+        // birthday statistics; far fewer than total.
+        assert!(collisions < 400, "collisions={collisions}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn rejects_zero_width() {
+        let _ = Crc::new(0, 1, 0);
+    }
+}

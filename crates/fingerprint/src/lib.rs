@@ -1,0 +1,49 @@
+//! Fingerprinting for lightweight soft-error detection.
+//!
+//! A *fingerprint* (Smolens et al., ASPLOS 2004, extended by Reunion §4.3)
+//! compresses the architectural state updates of an instruction sequence —
+//! register writes, branch targets, store addresses and store values — into
+//! a small hash. Two redundant cores exchange and compare fingerprints at
+//! retirement; a mismatch signals a soft error or input incoherence.
+//!
+//! This crate implements:
+//!
+//! * [`Crc`] — a table-driven CRC of configurable width (the paper's 16-bit
+//!   CRC "already exceeds industry system error coverage goals by an order
+//!   of magnitude").
+//! * [`ParityTree`] — single-cycle space compression of a wide update vector
+//!   down to the width a CRC circuit can consume.
+//! * [`TwoStageCompressor`] — the paper's parity-trees-then-CRC pipeline for
+//!   wide superscalar retirement (>256 bits of state per cycle), which at
+//!   most doubles the aliasing probability to `2^-(N-1)`.
+//! * [`FingerprintUnit`] — accumulates [`UpdateRecord`]s over a configurable
+//!   *fingerprint interval* and emits [`Fingerprint`]s for comparison.
+//! * [`aliasing`] — analytic bounds and a Monte Carlo estimator for the
+//!   probability that a corrupted execution aliases to the same fingerprint.
+//!
+//! # Examples
+//!
+//! ```
+//! use reunion_fingerprint::{FingerprintUnit, UpdateRecord};
+//!
+//! let mut vocal = FingerprintUnit::new(16);
+//! let mut mute = FingerprintUnit::new(16);
+//! let upd = UpdateRecord::reg(3, 42);
+//! vocal.absorb(&upd);
+//! mute.absorb(&upd);
+//! assert_eq!(vocal.emit(), mute.emit());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aliasing;
+mod crc;
+mod parity;
+mod two_stage;
+mod unit;
+
+pub use crc::Crc;
+pub use parity::ParityTree;
+pub use two_stage::TwoStageCompressor;
+pub use unit::{Fingerprint, FingerprintUnit, UpdateRecord};

@@ -1,0 +1,70 @@
+//! Architectural state and checkpoints.
+
+use crate::RegFile;
+
+/// Complete per-hart architectural state: register file plus program counter.
+///
+/// This is the unit of *safe state* in the Reunion execution model
+/// (Definition 4): the vocal core's `ArchState` after a successful output
+/// comparison defines the recovery point, and rollback recovery restores an
+/// earlier `ArchState` snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use reunion_isa::{ArchState, RegId};
+///
+/// let mut st = ArchState::new(0);
+/// st.regs.write(RegId::new(1), 7);
+/// let safe = st.clone();      // checkpoint at a retirement boundary
+/// st.regs.write(RegId::new(1), 8);
+/// st.pc = 40;
+/// let mut recovered = st;
+/// recovered.restore(&safe);   // rollback recovery
+/// assert_eq!(recovered.regs.read(RegId::new(1)), 7);
+/// assert_eq!(recovered.pc, 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ArchState {
+    /// The architectural register file.
+    pub regs: RegFile,
+    /// The next program counter (an index into the program's code image).
+    pub pc: usize,
+}
+
+impl ArchState {
+    /// Creates zeroed state starting at `entry`.
+    pub fn new(entry: usize) -> Self {
+        ArchState { regs: RegFile::new(), pc: entry }
+    }
+
+    /// Restores this state from a checkpoint.
+    pub fn restore(&mut self, checkpoint: &ArchState) {
+        self.regs.copy_from(&checkpoint.regs);
+        self.pc = checkpoint.pc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegId;
+
+    #[test]
+    fn new_state_is_zeroed_at_entry() {
+        let st = ArchState::new(12);
+        assert_eq!(st.pc, 12);
+        assert_eq!(st.regs.read(RegId::new(0)), 0);
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut st = ArchState::new(0);
+        st.regs.write(RegId::new(2), 5);
+        let ckpt = st.clone();
+        st.regs.write(RegId::new(2), 99);
+        st.pc = 100;
+        st.restore(&ckpt);
+        assert_eq!(st, ckpt);
+    }
+}

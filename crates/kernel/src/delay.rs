@@ -1,0 +1,154 @@
+//! Cycle-indexed delivery queues.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use crate::Cycle;
+
+/// A queue that delivers items at (or after) a chosen simulation cycle.
+///
+/// `DelayQueue` models every fixed-latency channel in the simulator: the
+/// fingerprint swap between the vocal and mute cores, crossbar hops, memory
+/// replies. Items pushed for the same delivery cycle pop in FIFO order, which
+/// keeps the simulator deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use reunion_kernel::{Cycle, DelayQueue};
+///
+/// let mut q = DelayQueue::new();
+/// q.push_at(Cycle::new(5), "fingerprint");
+/// assert!(q.pop_ready(Cycle::new(4)).is_none());
+/// assert_eq!(q.pop_ready(Cycle::new(5)), Some("fingerprint"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DelayQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    key: Reverse<(u64, u64)>,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<T> DelayQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        DelayQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `item` for delivery at cycle `when`.
+    pub fn push_at(&mut self, when: Cycle, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { key: Reverse((when.as_u64(), seq)), item });
+    }
+
+    /// Pops the next item whose delivery time is `<= now`, if any.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.peek_time()? <= now {
+            self.heap.pop().map(|e| e.item)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the delivery time of the earliest pending item.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| Cycle::new(e.key.0 .0))
+    }
+
+    /// Number of pending items (ready or not).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending items.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for DelayQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = DelayQueue::new();
+        q.push_at(Cycle::new(10), "b");
+        q.push_at(Cycle::new(5), "a");
+        assert_eq!(q.pop_ready(Cycle::new(10)), Some("a"));
+        assert_eq!(q.pop_ready(Cycle::new(10)), Some("b"));
+        assert_eq!(q.pop_ready(Cycle::new(10)), None);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = DelayQueue::new();
+        for i in 0..5 {
+            q.push_at(Cycle::new(3), i);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop_ready(Cycle::new(3)), Some(i));
+        }
+    }
+
+    #[test]
+    fn not_ready_until_time() {
+        let mut q = DelayQueue::new();
+        q.push_at(Cycle::new(7), ());
+        assert!(q.pop_ready(Cycle::new(6)).is_none());
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_ready(Cycle::new(7)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = DelayQueue::new();
+        assert!(q.peek_time().is_none());
+        q.push_at(Cycle::new(9), 1);
+        q.push_at(Cycle::new(2), 2);
+        assert_eq!(q.peek_time(), Some(Cycle::new(2)));
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mut q = DelayQueue::new();
+        q.push_at(Cycle::new(1), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Simulation kernel for the Reunion CMP simulator.
+//!
+//! This crate provides the deterministic, dependency-free infrastructure that
+//! every other crate in the workspace builds on:
+//!
+//! * [`Cycle`] — a strongly-typed simulation timestamp.
+//! * [`SimRng`] — a seeded, reproducible pseudo-random number generator
+//!   (xoshiro256\*\*). Determinism matters here: the Reunion evaluation relies
+//!   on matched-pair sampling, and reproducing an input-incoherence event
+//!   requires replaying the exact interleaving that produced it.
+//! * [`stats`] — counters, histograms and ratio statistics used to report the
+//!   paper's metrics (IPC, incoherence events per million instructions, …).
+//! * [`DelayQueue`] — a cycle-indexed delivery queue used to model fixed
+//!   latencies (fingerprint channels, memory replies, crossbar hops).
+//!
+//! # Examples
+//!
+//! ```
+//! use reunion_kernel::{Cycle, SimRng, stats::Counter};
+//!
+//! let mut rng = SimRng::seed_from(0xC0FFEE);
+//! let mut retired = Counter::new("retired_instructions");
+//! let now = Cycle::ZERO;
+//! if rng.chance(0.5) {
+//!     retired.add(4);
+//! }
+//! assert!(now + 10 > now);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle;
+mod delay;
+mod rng;
+pub mod stats;
+
+pub use cycle::Cycle;
+pub use delay::DelayQueue;
+pub use rng::SimRng;

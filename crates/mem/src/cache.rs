@@ -1,0 +1,258 @@
+//! Generic set-associative cache tag arrays.
+
+/// A set-associative tag array with true-LRU replacement.
+///
+/// `CacheArray` tracks *presence and per-line state* (the type parameter
+/// `S`); data values live elsewhere (the global image for coherent readers,
+/// the mute overlay for mute caches). Lines are addressed by their global
+/// line index (`address / 64`).
+///
+/// # Examples
+///
+/// ```
+/// use reunion_mem::CacheArray;
+///
+/// // 4 lines, 2-way: two sets.
+/// let mut cache: CacheArray<u8> = CacheArray::new(4, 2);
+/// assert!(cache.insert(0, 1).is_none());
+/// assert!(cache.insert(2, 2).is_none()); // same set as line 0
+/// let evicted = cache.insert(4, 3);      // set 0 full -> evict LRU (line 0)
+/// assert_eq!(evicted, Some((0, 1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheArray<S> {
+    ways: Vec<Option<Way<S>>>,
+    assoc: usize,
+    sets: usize,
+    tick: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Way<S> {
+    line: u64,
+    state: S,
+    last_use: u64,
+}
+
+impl<S> CacheArray<S> {
+    /// Creates an array holding `lines` lines with `assoc` ways per set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is not a positive multiple of `assoc`, or if the
+    /// resulting set count is not a power of two.
+    pub fn new(lines: usize, assoc: usize) -> Self {
+        assert!(assoc > 0 && lines > 0 && lines % assoc == 0, "bad cache shape");
+        let sets = lines / assoc;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let mut ways = Vec::with_capacity(lines);
+        ways.resize_with(lines, || None);
+        CacheArray { ways, assoc, sets, tick: 0 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = self.set_of(line);
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Looks up a line, updating LRU on hit. Returns the line state.
+    pub fn lookup(&mut self, line: u64) -> Option<&mut S> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        self.ways[range]
+            .iter_mut()
+            .flatten()
+            .find(|w| w.line == line)
+            .map(|w| {
+                w.last_use = tick;
+                &mut w.state
+            })
+    }
+
+    /// Looks up a line without touching LRU.
+    pub fn peek(&self, line: u64) -> Option<&S> {
+        let range = self.set_range(line);
+        self.ways[range]
+            .iter()
+            .flatten()
+            .find(|w| w.line == line)
+            .map(|w| &w.state)
+    }
+
+    /// Whether the line is present.
+    pub fn contains(&self, line: u64) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts a line (or replaces its state if already present), returning
+    /// the evicted `(line, state)` if the set was full.
+    pub fn insert(&mut self, line: u64, state: S) -> Option<(u64, S)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+
+        // Already present: update in place.
+        if let Some(way) = self.ways[range.clone()]
+            .iter_mut()
+            .flatten()
+            .find(|w| w.line == line)
+        {
+            way.state = state;
+            way.last_use = tick;
+            return None;
+        }
+
+        // Free way?
+        if let Some(slot) = self.ways[range.clone()].iter_mut().find(|w| w.is_none()) {
+            *slot = Some(Way { line, state, last_use: tick });
+            return None;
+        }
+
+        // Evict LRU.
+        let victim_idx = {
+            let set = &self.ways[range.clone()];
+            let (rel, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.as_ref().map(|w| w.last_use).unwrap_or(0))
+                .expect("nonzero associativity");
+            range.start + rel
+        };
+        let old = self.ways[victim_idx]
+            .replace(Way { line, state, last_use: tick })
+            .expect("victim way was full");
+        Some((old.line, old.state))
+    }
+
+    /// Removes a line, returning its state.
+    pub fn invalidate(&mut self, line: u64) -> Option<S> {
+        let range = self.set_range(line);
+        for slot in &mut self.ways[range] {
+            if slot.as_ref().is_some_and(|w| w.line == line) {
+                return slot.take().map(|w| w.state);
+            }
+        }
+        None
+    }
+
+    /// Removes every line, returning how many were valid.
+    pub fn invalidate_all(&mut self) -> usize {
+        let mut n = 0;
+        for slot in &mut self.ways {
+            if slot.take().is_some() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Iterates over `(line, state)` of all valid lines.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (u64, &S)> {
+        self.ways.iter().flatten().map(|w| (w.line, &w.state))
+    }
+
+    /// Number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c: CacheArray<()> = CacheArray::new(8, 2);
+        c.insert(5, ());
+        assert!(c.contains(5));
+        assert!(!c.contains(9)); // same set (4 sets), different tag
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: CacheArray<u32> = CacheArray::new(2, 2); // one set
+        c.insert(0, 10);
+        c.insert(1, 11);
+        // Touch line 0 so line 1 becomes LRU.
+        assert_eq!(c.lookup(0), Some(&mut 10));
+        let evicted = c.insert(2, 12);
+        assert_eq!(evicted, Some((1, 11)));
+        assert!(c.contains(0) && c.contains(2));
+    }
+
+    #[test]
+    fn insert_existing_updates_state_without_eviction() {
+        let mut c: CacheArray<u32> = CacheArray::new(2, 2);
+        c.insert(0, 1);
+        c.insert(1, 2);
+        assert_eq!(c.insert(0, 99), None);
+        assert_eq!(c.peek(0), Some(&99));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c: CacheArray<u32> = CacheArray::new(4, 2);
+        c.insert(3, 7);
+        assert_eq!(c.invalidate(3), Some(7));
+        assert_eq!(c.invalidate(3), None);
+        assert!(!c.contains(3));
+    }
+
+    #[test]
+    fn invalidate_all_counts_lines() {
+        let mut c: CacheArray<()> = CacheArray::new(8, 2);
+        for line in 0..5 {
+            c.insert(line, ());
+        }
+        assert_eq!(c.occupancy(), 5);
+        assert_eq!(c.invalidate_all(), 5);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn sets_are_indexed_by_low_bits() {
+        let c: CacheArray<()> = CacheArray::new(16, 4); // 4 sets
+        assert_eq!(c.sets(), 4);
+        assert_eq!(c.assoc(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _: CacheArray<()> = CacheArray::new(12, 2); // 6 sets
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cache shape")]
+    fn rejects_indivisible_shape() {
+        let _: CacheArray<()> = CacheArray::new(10, 3);
+    }
+
+    #[test]
+    fn iter_valid_reports_contents() {
+        let mut c: CacheArray<u8> = CacheArray::new(8, 2);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        let mut lines: Vec<u64> = c.iter_valid().map(|(l, _)| l).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![1, 2]);
+    }
+}

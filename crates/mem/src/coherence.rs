@@ -1,0 +1,245 @@
+//! Coherence state, core identities and the L2 directory entry.
+
+use std::fmt;
+
+/// Identifies a *logical* processor (a core in the non-redundant machine, or
+/// a vocal/mute pair in redundant configurations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u8);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Identifies a registered private L1 cache within the memory system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct L1Id(pub(crate) usize);
+
+impl L1Id {
+    /// The raw index of this L1 in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for L1Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l1#{}", self.0)
+    }
+}
+
+/// Who a private L1 belongs to: a vocal core (coherent, architecturally
+/// visible) or a mute core (never exposes updates; Definition 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// The coherent half of a logical processor pair (or a non-redundant
+    /// core, which is vocal by construction).
+    Vocal(CoreId),
+    /// The redundant half; invisible to the coherence protocol.
+    Mute(CoreId),
+}
+
+impl Owner {
+    /// Convenience constructor for a vocal owner.
+    pub fn vocal(core: u8) -> Self {
+        Owner::Vocal(CoreId(core))
+    }
+
+    /// Convenience constructor for a mute owner.
+    pub fn mute(core: u8) -> Self {
+        Owner::Mute(CoreId(core))
+    }
+
+    /// Whether this is a mute cache.
+    pub fn is_mute(self) -> bool {
+        matches!(self, Owner::Mute(_))
+    }
+
+    /// The logical processor this cache serves.
+    pub fn core(self) -> CoreId {
+        match self {
+            Owner::Vocal(c) | Owner::Mute(c) => c,
+        }
+    }
+}
+
+/// MESI coherence state for a line in a *vocal* L1.
+///
+/// Mute L1 lines carry no coherence state — the protocol behaves as if mute
+/// cores were absent from the system (§4.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// Not present (only used transiently; invalid lines are removed).
+    #[default]
+    Invalid,
+    /// Clean, possibly shared with other vocal L1s.
+    Shared,
+    /// Clean and exclusive to this L1; silently upgradable to Modified.
+    Exclusive,
+    /// Dirty and exclusive to this L1.
+    Modified,
+}
+
+impl MesiState {
+    /// Whether this state grants write permission without a bus transaction.
+    pub fn can_write(self) -> bool {
+        matches!(self, MesiState::Exclusive | MesiState::Modified)
+    }
+
+    /// Whether the line holds valid data.
+    pub fn is_valid(self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+}
+
+/// Directory metadata kept per L2 line: which vocal L1s hold the line, and
+/// which (if any) owns it exclusively.
+///
+/// Sharer bits index *vocal L1 registration order*; mute caches are never
+/// recorded, implementing the paper's "sharers lists never include mute
+/// caches" rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    sharers: u32,
+    owner: Option<L1Id>,
+}
+
+impl DirEntry {
+    /// An empty directory entry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `l1` as a sharer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 32 vocal L1s are registered.
+    pub fn add_sharer(&mut self, l1: L1Id) {
+        assert!(l1.0 < 32, "directory supports at most 32 vocal L1s");
+        self.sharers |= 1 << l1.0;
+    }
+
+    /// Removes `l1` from the sharer set (and ownership if it was the owner).
+    pub fn remove_sharer(&mut self, l1: L1Id) {
+        self.sharers &= !(1 << l1.0);
+        if self.owner == Some(l1) {
+            self.owner = None;
+        }
+    }
+
+    /// Whether `l1` is recorded as a sharer.
+    pub fn has_sharer(&self, l1: L1Id) -> bool {
+        self.sharers & (1 << l1.0) != 0
+    }
+
+    /// Grants exclusive ownership to `l1`, clearing all other sharers.
+    pub fn set_owner(&mut self, l1: L1Id) {
+        self.sharers = 1 << l1.0;
+        self.owner = Some(l1);
+    }
+
+    /// The current exclusive owner, if any.
+    pub fn owner(&self) -> Option<L1Id> {
+        self.owner
+    }
+
+    /// Clears exclusive ownership but keeps the (former) owner as a sharer.
+    pub fn downgrade_owner(&mut self) {
+        self.owner = None;
+    }
+
+    /// Iterates over all sharers except `except`.
+    pub fn sharers_except(&self, except: L1Id) -> impl Iterator<Item = L1Id> + '_ {
+        let mask = self.sharers & !(1 << except.0);
+        (0..32u32).filter(move |i| mask & (1 << i) != 0).map(|i| L1Id(i as usize))
+    }
+
+    /// Number of sharers.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// Whether no vocal L1 holds the line.
+    pub fn is_empty(&self) -> bool {
+        self.sharers == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_classification() {
+        assert!(Owner::mute(1).is_mute());
+        assert!(!Owner::vocal(1).is_mute());
+        assert_eq!(Owner::vocal(3).core(), CoreId(3));
+        assert_eq!(Owner::mute(3).core(), CoreId(3));
+    }
+
+    #[test]
+    fn mesi_write_permission() {
+        assert!(MesiState::Modified.can_write());
+        assert!(MesiState::Exclusive.can_write());
+        assert!(!MesiState::Shared.can_write());
+        assert!(!MesiState::Invalid.is_valid());
+        assert!(MesiState::Shared.is_valid());
+    }
+
+    #[test]
+    fn directory_sharers_round_trip() {
+        let mut d = DirEntry::new();
+        d.add_sharer(L1Id(0));
+        d.add_sharer(L1Id(2));
+        assert!(d.has_sharer(L1Id(0)));
+        assert!(!d.has_sharer(L1Id(1)));
+        assert_eq!(d.sharer_count(), 2);
+        d.remove_sharer(L1Id(0));
+        assert!(!d.has_sharer(L1Id(0)));
+        assert!(!d.is_empty());
+        d.remove_sharer(L1Id(2));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn ownership_clears_other_sharers() {
+        let mut d = DirEntry::new();
+        d.add_sharer(L1Id(0));
+        d.add_sharer(L1Id(1));
+        d.set_owner(L1Id(1));
+        assert_eq!(d.owner(), Some(L1Id(1)));
+        assert!(!d.has_sharer(L1Id(0)));
+        assert!(d.has_sharer(L1Id(1)));
+        d.downgrade_owner();
+        assert_eq!(d.owner(), None);
+        assert!(d.has_sharer(L1Id(1)));
+    }
+
+    #[test]
+    fn removing_owner_clears_ownership() {
+        let mut d = DirEntry::new();
+        d.set_owner(L1Id(4));
+        d.remove_sharer(L1Id(4));
+        assert_eq!(d.owner(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn sharers_except_filters_self() {
+        let mut d = DirEntry::new();
+        d.add_sharer(L1Id(0));
+        d.add_sharer(L1Id(1));
+        d.add_sharer(L1Id(2));
+        let others: Vec<_> = d.sharers_except(L1Id(1)).collect();
+        assert_eq!(others, vec![L1Id(0), L1Id(2)]);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(CoreId(2).to_string(), "cpu2");
+        assert_eq!(L1Id(5).to_string(), "l1#5");
+    }
+}

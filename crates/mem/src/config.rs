@@ -1,0 +1,129 @@
+//! Memory-hierarchy configuration.
+
+/// Cache hierarchy parameters.
+///
+/// Defaults reproduce Table 1 of the paper: 64 KB 2-way L1s with a
+/// 2-cycle load-to-use latency and 32 MSHRs, a 16 MB 8-way shared L2 with
+/// 4 banks and a 35-cycle hit latency, and a 60 ns (240-cycle at 4 GHz)
+/// memory access latency.
+///
+/// # Examples
+///
+/// ```
+/// use reunion_mem::MemConfig;
+///
+/// let cfg = MemConfig::default();
+/// assert_eq!(cfg.l1_bytes, 64 * 1024);
+/// assert_eq!(cfg.l2_hit_latency, 35);
+/// let small = MemConfig::small(); // unit-test scale
+/// assert!(small.l2_bytes < cfg.l2_bytes);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 capacity in bytes per core.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// L1 load-to-use latency in cycles.
+    pub l1_hit_latency: u64,
+    /// Outstanding L1 misses (MSHRs) per core.
+    pub l1_mshrs: usize,
+    /// Shared L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// L2 bank count.
+    pub l2_banks: usize,
+    /// L2 hit latency in cycles (includes tag + data + return).
+    pub l2_hit_latency: u64,
+    /// Crossbar hop latency from an L1 to an L2 bank, in cycles.
+    pub crossbar_latency: u64,
+    /// Cycles an L2 bank is occupied per request; lower means more
+    /// bandwidth. The paper scales on-chip cache bandwidth with core count,
+    /// so redundant configurations halve this value.
+    pub bank_occupancy: u64,
+    /// Main-memory access latency in cycles (60 ns at 4 GHz).
+    pub dram_latency: u64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            l1_bytes: 64 * 1024,
+            l1_assoc: 2,
+            l1_hit_latency: 2,
+            l1_mshrs: 32,
+            l2_bytes: 16 * 1024 * 1024,
+            l2_assoc: 8,
+            l2_banks: 4,
+            l2_hit_latency: 35,
+            crossbar_latency: 3,
+            bank_occupancy: 2,
+            dram_latency: 240,
+        }
+    }
+}
+
+impl MemConfig {
+    /// A deliberately tiny hierarchy for unit tests (4 KB L1, 64 KB L2) so
+    /// that evictions and conflicts are easy to trigger.
+    pub fn small() -> Self {
+        MemConfig {
+            l1_bytes: 4 * 1024,
+            l1_assoc: 2,
+            l1_hit_latency: 2,
+            l1_mshrs: 4,
+            l2_bytes: 64 * 1024,
+            l2_assoc: 4,
+            l2_banks: 2,
+            l2_hit_latency: 10,
+            crossbar_latency: 1,
+            bank_occupancy: 1,
+            dram_latency: 50,
+        }
+    }
+
+    /// Scales L2 bank bandwidth for `cores` cores relative to the 4-core
+    /// baseline, per the paper's "cache bandwidth scales in proportion with
+    /// the number of cores" assumption.
+    pub fn scaled_for_cores(mut self, cores: usize) -> Self {
+        let factor = (cores as u64 / 4).max(1);
+        self.bank_occupancy = (self.bank_occupancy / factor).max(1);
+        self
+    }
+
+    /// Number of lines in an L1.
+    pub fn l1_lines(&self) -> usize {
+        (self.l1_bytes / reunion_isa::LINE_BYTES) as usize
+    }
+
+    /// Number of lines in the L2.
+    pub fn l2_lines(&self) -> usize {
+        (self.l2_bytes / reunion_isa::LINE_BYTES) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let cfg = MemConfig::default();
+        assert_eq!(cfg.l1_lines(), 1024);
+        assert_eq!(cfg.l2_lines(), 262_144);
+        assert_eq!(cfg.l1_mshrs, 32);
+        assert_eq!(cfg.dram_latency, 240);
+        assert_eq!(cfg.l2_banks, 4);
+    }
+
+    #[test]
+    fn scaling_increases_bandwidth() {
+        let base = MemConfig::default();
+        let scaled = base.clone().scaled_for_cores(8);
+        assert!(scaled.bank_occupancy < base.bank_occupancy);
+        // Never scales below one cycle of occupancy.
+        let floor = MemConfig::small().scaled_for_cores(64);
+        assert_eq!(floor.bank_occupancy, 1);
+    }
+}

@@ -1,0 +1,1019 @@
+//! The shared-cache-controller memory system.
+//!
+//! One [`MemorySystem`] instance models everything below the core pipelines:
+//! all private L1s (vocal and mute), the banked shared L2 with its inclusive
+//! directory, the crossbar, and main memory. The shared cache controller is
+//! where the Reunion semantics live (§4.2): it transforms mute requests into
+//! phantom requests, ignores mute evictions and writebacks, and implements
+//! the synchronizing request used by the re-execution protocol.
+
+use std::collections::HashMap;
+
+use reunion_isa::{Addr, AtomicOp, SparseMemory};
+use reunion_kernel::Cycle;
+
+use crate::{
+    garbage_word, CacheArray, DirEntry, L1Id, MemConfig, MemStats, MesiState, Owner,
+    PhantomStrength,
+};
+
+const WORDS_PER_LINE: usize = 8;
+
+/// The result of a memory access: the data value and when it completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// The 8-byte value read (old value for atomics; the stored value for
+    /// plain stores).
+    pub value: u64,
+    /// Cycle at which the requesting core observes completion.
+    pub done_at: Cycle,
+    /// Whether the access hit in the private L1.
+    pub l1_hit: bool,
+    /// Whether a miss hit in the shared L2 (false on L1 hits too).
+    pub l2_hit: bool,
+    /// Whether the fill used arbitrary (non-coherent) phantom data.
+    pub incoherent_fill: bool,
+}
+
+/// The result of a synchronizing request: one coherent value delivered
+/// atomically to both halves of a logical processor pair (Definition 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// The single coherent value returned to both cores (the *old* memory
+    /// value for read-modify-writes).
+    pub value: u64,
+    /// Completion cycle, identical for both cores.
+    pub done_at: Cycle,
+}
+
+#[derive(Debug)]
+struct L1State {
+    owner: Owner,
+    tags: CacheArray<MesiState>,
+    /// Private data snapshots for mute caches, line index → words. Vocal
+    /// caches read the coherent image instead.
+    mute_data: HashMap<u64, [u64; WORDS_PER_LINE]>,
+    /// Completion times (raw cycles) of outstanding misses, pruned lazily.
+    outstanding: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct L2State {
+    tags: CacheArray<DirEntry>,
+    bank_free: Vec<u64>,
+}
+
+/// The CMP memory hierarchy below the core pipelines.
+///
+/// See the [crate docs](crate) for the modeling approach. All methods take
+/// the current cycle and return completion times; the system never advances
+/// time itself.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    image: SparseMemory,
+    l1s: Vec<L1State>,
+    l2: L2State,
+    /// Monotonic counter distinguishing garbage fills.
+    epoch: u64,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system with no registered L1s.
+    pub fn new(cfg: MemConfig) -> Self {
+        let l2 = L2State {
+            tags: CacheArray::new(cfg.l2_lines(), cfg.l2_assoc),
+            bank_free: vec![0; cfg.l2_banks],
+        };
+        MemorySystem {
+            cfg,
+            image: SparseMemory::new(),
+            l1s: Vec::new(),
+            l2,
+            epoch: 0,
+            stats: MemStats::new(),
+        }
+    }
+
+    /// Registers a private L1 cache and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 32 L1s are registered (directory bitmap limit).
+    pub fn register_l1(&mut self, owner: Owner) -> L1Id {
+        assert!(self.l1s.len() < 32, "at most 32 private L1s supported");
+        let id = L1Id(self.l1s.len());
+        self.l1s.push(L1State {
+            owner,
+            tags: CacheArray::new(self.cfg.l1_lines(), self.cfg.l1_assoc),
+            mute_data: HashMap::new(),
+            outstanding: Vec::new(),
+        });
+        id
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access (for resetting between windows).
+    pub fn stats_mut(&mut self) -> &mut MemStats {
+        &mut self.stats
+    }
+
+    /// Reads the globally coherent value of the word containing `addr`.
+    pub fn peek_coherent(&self, addr: Addr) -> u64 {
+        self.image.peek(addr)
+    }
+
+    /// Writes the coherent image directly (workload initialization).
+    pub fn poke(&mut self, addr: Addr, value: u64) {
+        self.image.poke(addr, value);
+    }
+
+    /// Whether `l1` currently caches the line containing `addr`.
+    pub fn l1_contains(&self, l1: L1Id, addr: Addr) -> bool {
+        self.l1s[l1.0].tags.contains(addr.line_index())
+    }
+
+    /// Number of lines currently valid in `l1`.
+    pub fn l1_occupancy(&self, l1: L1Id) -> usize {
+        self.l1s[l1.0].tags.occupancy()
+    }
+
+    /// The value `l1` would read for `addr` *right now* without timing
+    /// effects: the mute snapshot if `l1` is a mute cache holding the line,
+    /// otherwise the coherent value. Used by tests and the golden model.
+    pub fn peek_view(&self, l1: L1Id, addr: Addr) -> u64 {
+        let state = &self.l1s[l1.0];
+        if state.owner.is_mute() && state.tags.contains(addr.line_index()) {
+            if let Some(words) = state.mute_data.get(&addr.line_index()) {
+                return words[Self::word_slot(addr)];
+            }
+        }
+        self.image.peek(addr)
+    }
+
+    #[inline]
+    fn word_slot(addr: Addr) -> usize {
+        (addr.line_offset() / 8) as usize
+    }
+
+    fn read_line_words(&self, line: u64) -> [u64; WORDS_PER_LINE] {
+        let base = line * reunion_isa::LINE_BYTES;
+        let mut words = [0u64; WORDS_PER_LINE];
+        for (i, word) in words.iter_mut().enumerate() {
+            *word = self.image.peek(Addr::new(base + i as u64 * 8));
+        }
+        words
+    }
+
+    fn garbage_line_words(line: u64, epoch: u64) -> [u64; WORDS_PER_LINE] {
+        let base = line * reunion_isa::LINE_BYTES;
+        let mut words = [0u64; WORDS_PER_LINE];
+        for (i, word) in words.iter_mut().enumerate() {
+            *word = garbage_word(base + i as u64 * 8, epoch);
+        }
+        words
+    }
+
+    /// Applies MSHR back-pressure: if all MSHRs are busy at `now`, the miss
+    /// cannot start until the earliest outstanding one completes.
+    fn miss_start_time(&mut self, l1: usize, now: u64) -> u64 {
+        let st = &mut self.l1s[l1];
+        st.outstanding.retain(|&t| t > now);
+        if st.outstanding.len() < self.cfg.l1_mshrs {
+            now
+        } else {
+            let earliest = st.outstanding.iter().copied().min().unwrap_or(now);
+            let start = earliest.max(now);
+            st.outstanding.retain(|&t| t > start);
+            start
+        }
+    }
+
+    /// Occupies an L2 bank and returns the time the bank begins service.
+    fn bank_service(&mut self, line: u64, request_at: u64) -> u64 {
+        let bank = (line as usize) % self.cfg.l2_banks;
+        let start = self.l2.bank_free[bank].max(request_at);
+        self.l2.bank_free[bank] = start + self.cfg.bank_occupancy;
+        start
+    }
+
+    /// Looks up the L2 for a coherent fill, allocating on miss (inclusive
+    /// hierarchy: L2 victims invalidate vocal L1 copies). Returns
+    /// `(l2_hit, data_ready_time)`.
+    fn l2_fill(&mut self, line: u64, bank_start: u64) -> (bool, u64) {
+        if self.l2.tags.lookup(line).is_some() {
+            self.stats.l2_hits.incr();
+            (true, bank_start + self.cfg.l2_hit_latency)
+        } else {
+            self.stats.l2_misses.incr();
+            let ready = bank_start + self.cfg.l2_hit_latency + self.cfg.dram_latency;
+            if let Some((victim_line, victim_dir)) = self.l2.tags.insert(line, DirEntry::new()) {
+                // Inclusive L2: back-invalidate vocal L1 copies of the victim.
+                let sharers: Vec<L1Id> =
+                    victim_dir.sharers_except(L1Id(usize::MAX & 31)).collect();
+                for s in sharers {
+                    if let Some(state) = self.l1s[s.0].tags.invalidate(victim_line) {
+                        if state == MesiState::Modified {
+                            self.stats.writebacks.incr();
+                        }
+                        self.stats.invalidations.incr();
+                    }
+                }
+            }
+            (false, ready)
+        }
+    }
+
+    /// Inserts `line` into `l1`, handling the eviction per vocal/mute rules.
+    fn l1_fill(&mut self, l1: usize, line: u64, state: MesiState) {
+        let is_mute = self.l1s[l1].owner.is_mute();
+        if let Some((victim_line, victim_state)) = self.l1s[l1].tags.insert(line, state) {
+            if is_mute {
+                // The controller ignores all mute evictions and writebacks.
+                self.l1s[l1].mute_data.remove(&victim_line);
+                self.stats.mute_writebacks_ignored.incr();
+            } else {
+                if victim_state == MesiState::Modified {
+                    self.stats.writebacks.incr();
+                }
+                if let Some(dir) = self.l2.tags.lookup(victim_line) {
+                    dir.remove_sharer(L1Id(l1));
+                }
+            }
+        }
+    }
+
+    /// A coherent read by a vocal L1, or a phantom read by a mute L1.
+    ///
+    /// Vocal reads maintain MESI state and the L2 directory exactly as in a
+    /// non-redundant design. Mute reads become phantom requests of the given
+    /// [`PhantomStrength`] and never perturb coherence state.
+    pub fn load(&mut self, now: Cycle, l1: L1Id, addr: Addr, strength: PhantomStrength) -> Access {
+        let line = addr.line_index();
+        let idx = l1.0;
+        let now_raw = now.as_u64();
+
+        if self.l1s[idx].owner.is_mute() {
+            return self.mute_load(now_raw, idx, addr, strength);
+        }
+
+        // Vocal L1 hit.
+        if self.l1s[idx].tags.lookup(line).is_some() {
+            self.stats.l1_hits.incr();
+            return Access {
+                value: self.image.peek(addr),
+                done_at: now + self.cfg.l1_hit_latency,
+                l1_hit: true,
+                l2_hit: false,
+                incoherent_fill: false,
+            };
+        }
+
+        // Vocal miss: coherent GetS through the shared controller.
+        self.stats.l1_misses.incr();
+        let start = self.miss_start_time(idx, now_raw);
+        let bank_start = self.bank_service(line, start + self.cfg.crossbar_latency);
+        let (l2_hit, mut ready) = self.l2_fill(line, bank_start);
+
+        // Directory: a Modified/Exclusive owner elsewhere is downgraded
+        // (its data is already reflected in the image at drain time, so the
+        // forward is a timing event).
+        let mut was_owned = false;
+        if let Some(dir) = self.l2.tags.lookup(line) {
+            if let Some(owner) = dir.owner() {
+                if owner.0 != idx {
+                    was_owned = true;
+                    dir.downgrade_owner();
+                }
+            }
+            dir.add_sharer(L1Id(idx));
+        }
+        if was_owned {
+            // Dirty-forward from the owner's L1: roughly one more L2 trip.
+            ready += self.cfg.l2_hit_latency / 2;
+            self.stats.writebacks.incr();
+            // The former owner keeps the line Shared.
+            for peer in 0..self.l1s.len() {
+                if peer != idx && !self.l1s[peer].owner.is_mute() {
+                    if let Some(st) = self.l1s[peer].tags.lookup(line) {
+                        if st.can_write() {
+                            *st = MesiState::Shared;
+                        }
+                    }
+                }
+            }
+        }
+
+        let alone = self
+            .l2
+            .tags
+            .peek(line)
+            .map(|d| d.sharer_count() <= 1)
+            .unwrap_or(true);
+        let state = if alone { MesiState::Exclusive } else { MesiState::Shared };
+        self.l1_fill(idx, line, state);
+        self.l1s[idx].outstanding.push(ready);
+
+        Access {
+            value: self.image.peek(addr),
+            done_at: Cycle::new(ready),
+            l1_hit: false,
+            l2_hit,
+            incoherent_fill: false,
+        }
+    }
+
+    fn mute_load(&mut self, now: u64, idx: usize, addr: Addr, strength: PhantomStrength) -> Access {
+        let line = addr.line_index();
+        let slot = Self::word_slot(addr);
+
+        // Mute L1 hit: read the private (possibly stale) snapshot.
+        if self.l1s[idx].tags.lookup(line).is_some() {
+            self.stats.l1_hits.incr();
+            let value = self.l1s[idx]
+                .mute_data
+                .get(&line)
+                .map(|w| w[slot])
+                .unwrap_or_else(|| self.image.peek(addr));
+            return Access {
+                value,
+                done_at: Cycle::new(now + self.cfg.l1_hit_latency),
+                l1_hit: true,
+                l2_hit: false,
+                incoherent_fill: false,
+            };
+        }
+
+        // Phantom request on behalf of the mute.
+        self.stats.l1_misses.incr();
+        self.stats.phantom_requests.incr();
+        self.epoch += 1;
+
+        let (words, done, l2_hit, incoherent) = match strength {
+            PhantomStrength::Null => {
+                // Arbitrary data on any L1 miss; no hierarchy search.
+                let words = Self::garbage_line_words(line, self.epoch);
+                (words, now + self.cfg.l1_hit_latency + self.cfg.crossbar_latency, false, true)
+            }
+            PhantomStrength::Shared => {
+                let start = self.miss_start_time(idx, now);
+                let bank_start = self.bank_service(line, start + self.cfg.crossbar_latency);
+                // Checks the shared cache without changing coherence state.
+                if self.l2.tags.contains(line) {
+                    self.stats.l2_hits.incr();
+                    let words = self.read_line_words(line);
+                    (words, bank_start + self.cfg.l2_hit_latency, true, false)
+                } else {
+                    self.stats.l2_misses.incr();
+                    let words = Self::garbage_line_words(line, self.epoch);
+                    (words, bank_start + self.cfg.l2_hit_latency, false, true)
+                }
+            }
+            PhantomStrength::Global => {
+                let start = self.miss_start_time(idx, now);
+                let bank_start = self.bank_service(line, start + self.cfg.crossbar_latency);
+                let l2_hit = self.l2.tags.contains(line);
+                let latency = if l2_hit {
+                    self.stats.l2_hits.incr();
+                    self.cfg.l2_hit_latency
+                } else {
+                    self.stats.l2_misses.incr();
+                    // Non-coherent off-chip read; does not allocate in L2.
+                    self.cfg.l2_hit_latency + self.cfg.dram_latency
+                };
+                let words = self.read_line_words(line);
+                (words, bank_start + latency, l2_hit, false)
+            }
+        };
+
+        if incoherent {
+            self.stats.phantom_garbage_fills.incr();
+        }
+
+        // Phantom replies grant write permission within the mute hierarchy.
+        self.l1_fill(idx, line, MesiState::Exclusive);
+        self.l1s[idx].mute_data.insert(line, words);
+        self.l1s[idx].outstanding.push(done);
+
+        Access {
+            value: words[slot],
+            done_at: Cycle::new(done),
+            l1_hit: false,
+            l2_hit,
+            incoherent_fill: incoherent,
+        }
+    }
+
+    /// Drains one retired store into the memory system.
+    ///
+    /// For a vocal L1 this is the point where the store becomes globally
+    /// visible: the coherent image is updated and other vocal sharers are
+    /// invalidated (write-invalidate protocol). For a mute L1 the store only
+    /// updates the private snapshot — mute updates are never exposed.
+    pub fn drain_store(&mut self, now: Cycle, l1: L1Id, addr: Addr, value: u64) -> Access {
+        let line = addr.line_index();
+        let idx = l1.0;
+        let now_raw = now.as_u64();
+
+        if self.l1s[idx].owner.is_mute() {
+            return self.mute_store(now_raw, idx, addr, value);
+        }
+
+        // Fast path: already writable.
+        if let Some(state) = self.l1s[idx].tags.lookup(line) {
+            if state.can_write() {
+                *state = MesiState::Modified;
+                self.stats.l1_hits.incr();
+                self.image.poke(addr, value);
+                return Access {
+                    value,
+                    done_at: now + 1,
+                    l1_hit: true,
+                    l2_hit: false,
+                    incoherent_fill: false,
+                };
+            }
+        }
+
+        // Upgrade / read-for-ownership through the shared controller.
+        self.stats.l1_misses.incr();
+        let start = self.miss_start_time(idx, now_raw);
+        let bank_start = self.bank_service(line, start + self.cfg.crossbar_latency);
+        let (l2_hit, ready) = self.l2_fill(line, bank_start);
+
+        // Invalidate all other vocal sharers.
+        let sharers: Vec<L1Id> = self
+            .l2
+            .tags
+            .peek(line)
+            .map(|d| d.sharers_except(L1Id(idx)).collect())
+            .unwrap_or_default();
+        for s in sharers {
+            if let Some(state) = self.l1s[s.0].tags.invalidate(line) {
+                if state == MesiState::Modified {
+                    self.stats.writebacks.incr();
+                }
+            }
+            self.stats.invalidations.incr();
+        }
+        if let Some(dir) = self.l2.tags.lookup(line) {
+            dir.set_owner(L1Id(idx));
+        }
+
+        self.l1_fill(idx, line, MesiState::Modified);
+        self.l1s[idx].outstanding.push(ready);
+        self.image.poke(addr, value);
+
+        Access {
+            value,
+            done_at: Cycle::new(ready),
+            l1_hit: false,
+            l2_hit,
+            incoherent_fill: false,
+        }
+    }
+
+    fn mute_store(&mut self, now: u64, idx: usize, addr: Addr, value: u64) -> Access {
+        let line = addr.line_index();
+        let slot = Self::word_slot(addr);
+
+        if self.l1s[idx].tags.lookup(line).is_some() {
+            self.stats.l1_hits.incr();
+            self.l1s[idx]
+                .mute_data
+                .entry(line)
+                .or_insert([0; WORDS_PER_LINE])[slot] = value;
+            return Access {
+                value,
+                done_at: Cycle::new(now + 1),
+                l1_hit: true,
+                l2_hit: false,
+                incoherent_fill: false,
+            };
+        }
+
+        // Write-allocate: fill via a phantom read, then update the word.
+        // Strength mirrors the configured load path; the fill itself uses
+        // Global here because store misses are rare and the stored word is
+        // overwritten regardless. The fill is non-coherent either way.
+        let fill = self.mute_load(now, idx, addr, PhantomStrength::Global);
+        self.l1s[idx]
+            .mute_data
+            .entry(line)
+            .or_insert([0; WORDS_PER_LINE])[slot] = value;
+        Access {
+            value,
+            done_at: fill.done_at + 1,
+            l1_hit: false,
+            l2_hit: fill.l2_hit,
+            incoherent_fill: fill.incoherent_fill,
+        }
+    }
+
+    /// The read half of an atomic read-modify-write.
+    ///
+    /// For a vocal L1 this performs a coherent read-for-ownership —
+    /// invalidating other sharers and taking exclusive ownership — and
+    /// returns the current coherent value *without* updating memory; the
+    /// write half ([`atomic_commit`](Self::atomic_commit)) is applied at
+    /// retirement, after output comparison, so the update never becomes
+    /// visible (even to the pair's own mute) before it is checked
+    /// (Definition 7). Mute atomics read and update only the mute's private
+    /// view.
+    pub fn atomic_read(
+        &mut self,
+        now: Cycle,
+        l1: L1Id,
+        addr: Addr,
+        op: AtomicOp,
+        operand: u64,
+        strength: PhantomStrength,
+    ) -> Access {
+        let idx = l1.0;
+        if self.l1s[idx].owner.is_mute() {
+            let read = self.mute_load(now.as_u64(), idx, addr, strength);
+            let new = reunion_isa::atomic_update(op, read.value, operand);
+            let line = addr.line_index();
+            let slot = Self::word_slot(addr);
+            self.l1s[idx]
+                .mute_data
+                .entry(line)
+                .or_insert([0; WORDS_PER_LINE])[slot] = new;
+            return Access {
+                value: read.value,
+                done_at: read.done_at + 2,
+                ..read
+            };
+        }
+
+        let old = self.image.peek(addr);
+        // Read-for-ownership timing: same path as a store upgrade, but the
+        // image is left untouched until commit.
+        let line = addr.line_index();
+        let (timing, l1_hit, l2_hit);
+        if let Some(state) = self.l1s[idx].tags.lookup(line) {
+            if state.can_write() {
+                *state = MesiState::Modified;
+                self.stats.l1_hits.incr();
+                timing = now.as_u64() + self.cfg.l1_hit_latency;
+                l1_hit = true;
+                l2_hit = false;
+            } else {
+                let (t, h) = self.vocal_rfo(idx, line, now.as_u64());
+                timing = t;
+                l1_hit = false;
+                l2_hit = h;
+            }
+        } else {
+            let (t, h) = self.vocal_rfo(idx, line, now.as_u64());
+            timing = t;
+            l1_hit = false;
+            l2_hit = h;
+        }
+        Access {
+            value: old,
+            done_at: Cycle::new(timing + 2),
+            l1_hit,
+            l2_hit,
+            incoherent_fill: false,
+        }
+    }
+
+    /// The write half of a vocal atomic, applied at retirement after output
+    /// comparison.
+    ///
+    /// `old_read` is the value the read half returned. If the RMW is a
+    /// value no-op with respect to it (a failed test-and-set writing back
+    /// the held-lock token), the commit is skipped entirely — otherwise a
+    /// spinning core would clobber a release that landed between its read
+    /// and its retirement. For value-changing updates the new value is
+    /// recomputed against the *current* coherent value so a concurrent
+    /// writer in the read-to-commit window is not lost (swaps write the
+    /// operand either way; fetch-add increments compose).
+    pub fn atomic_commit(&mut self, l1: L1Id, addr: Addr, op: AtomicOp, operand: u64, old_read: u64) {
+        debug_assert!(!self.l1s[l1.0].owner.is_mute(), "mute atomics commit privately");
+        if reunion_isa::atomic_update(op, old_read, operand) == old_read {
+            return;
+        }
+        let line = addr.line_index();
+        // Re-invalidate any vocal sharer that joined since the read.
+        let sharers: Vec<L1Id> = self
+            .l2
+            .tags
+            .peek(line)
+            .map(|d| d.sharers_except(l1).collect())
+            .unwrap_or_default();
+        for s in sharers {
+            if !self.l1s[s.0].owner.is_mute() && self.l1s[s.0].tags.invalidate(line).is_some() {
+                self.stats.invalidations.incr();
+            }
+        }
+        let current = self.image.peek(addr);
+        self.image
+            .poke(addr, reunion_isa::atomic_update(op, current, operand));
+    }
+
+    /// Coherent read-for-ownership used by vocal atomics: bank + L2 timing,
+    /// sharer invalidation, directory ownership, L1 fill in Modified.
+    fn vocal_rfo(&mut self, idx: usize, line: u64, now: u64) -> (u64, bool) {
+        self.stats.l1_misses.incr();
+        let start = self.miss_start_time(idx, now);
+        let bank_start = self.bank_service(line, start + self.cfg.crossbar_latency);
+        let (l2_hit, ready) = self.l2_fill(line, bank_start);
+        let sharers: Vec<L1Id> = self
+            .l2
+            .tags
+            .peek(line)
+            .map(|d| d.sharers_except(L1Id(idx)).collect())
+            .unwrap_or_default();
+        for s in sharers {
+            if let Some(state) = self.l1s[s.0].tags.invalidate(line) {
+                if state == MesiState::Modified {
+                    self.stats.writebacks.incr();
+                }
+            }
+            self.stats.invalidations.incr();
+        }
+        if let Some(dir) = self.l2.tags.lookup(line) {
+            dir.set_owner(L1Id(idx));
+        }
+        self.l1_fill(idx, line, MesiState::Modified);
+        self.l1s[idx].outstanding.push(ready);
+        (ready, l2_hit)
+    }
+
+    /// Performs a synchronizing request on behalf of a logical processor
+    /// pair (Definition 10): flushes the block from both private caches,
+    /// executes one coherent transaction, and atomically delivers a single
+    /// value to both cores.
+    ///
+    /// With `rmw` the transaction has both load and store semantics (the
+    /// single-stepped instruction may be an atomic); the returned value is
+    /// the old memory value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocal` is a mute cache or `mute` is a vocal cache.
+    pub fn sync_access(
+        &mut self,
+        now: Cycle,
+        vocal: L1Id,
+        mute: L1Id,
+        addr: Addr,
+        rmw: Option<(AtomicOp, u64)>,
+    ) -> SyncOutcome {
+        assert!(!self.l1s[vocal.0].owner.is_mute(), "sync: vocal handle is a mute cache");
+        assert!(self.l1s[mute.0].owner.is_mute(), "sync: mute handle is a vocal cache");
+        self.stats.sync_requests.incr();
+        let line = addr.line_index();
+
+        // Flush: the vocal copy returns to the shared cache (its data is
+        // already reflected in the image at drain time), the mute copy is
+        // discarded.
+        if let Some(state) = self.l1s[vocal.0].tags.invalidate(line) {
+            if state == MesiState::Modified {
+                self.stats.writebacks.incr();
+            }
+            if let Some(dir) = self.l2.tags.lookup(line) {
+                dir.remove_sharer(vocal);
+            }
+        }
+        self.l1s[mute.0].tags.invalidate(line);
+        self.l1s[mute.0].mute_data.remove(&line);
+
+        // One coherent write transaction on behalf of the pair. Latency is
+        // comparable to a shared-cache hit (§4.2).
+        let bank_start = self.bank_service(line, now.as_u64() + self.cfg.crossbar_latency);
+        let (_, ready) = self.l2_fill(line, bank_start);
+
+        // Invalidate remaining vocal sharers (write semantics).
+        let sharers: Vec<L1Id> = self
+            .l2
+            .tags
+            .peek(line)
+            .map(|d| d.sharers_except(vocal).collect())
+            .unwrap_or_default();
+        for s in sharers {
+            if !self.l1s[s.0].owner.is_mute() && self.l1s[s.0].tags.invalidate(line).is_some() {
+                self.stats.invalidations.incr();
+            }
+        }
+
+        let old = self.image.peek(addr);
+        if let Some((op, operand)) = rmw {
+            let new = reunion_isa::atomic_update(op, old, operand);
+            self.image.poke(addr, new);
+        }
+        if let Some(dir) = self.l2.tags.lookup(line) {
+            dir.set_owner(vocal);
+        }
+
+        // Refill both halves coherently and atomically.
+        self.l1_fill(vocal.0, line, MesiState::Modified);
+        let words = self.read_line_words(line);
+        self.l1_fill(mute.0, line, MesiState::Exclusive);
+        self.l1s[mute.0].mute_data.insert(line, words);
+
+        SyncOutcome { value: old, done_at: Cycle::new(ready) }
+    }
+
+    /// Reverts a speculatively-applied atomic: restores `old` at `addr`
+    /// only if the current value is still `new` (the value the atomic
+    /// wrote).
+    ///
+    /// In hardware the line stays exclusively owned between an atomic's
+    /// execution and its output comparison, so no other core can interleave
+    /// a write. The simulator applies atomics eagerly instead; if another
+    /// core *did* write the word in that short window, its value (not the
+    /// stale `old`) must survive the rollback.
+    pub fn compare_and_revert(&mut self, addr: Addr, old: u64, new: u64) {
+        if self.image.peek(addr) == new {
+            self.image.poke(addr, old);
+        }
+    }
+
+    /// Discards every line in `l1` (used when a measurement harness wants
+    /// cold caches, and by tests).
+    pub fn flush_l1(&mut self, l1: L1Id) {
+        let idx = l1.0;
+        let lines: Vec<u64> = self.l1s[idx].tags.iter_valid().map(|(l, _)| l).collect();
+        let is_mute = self.l1s[idx].owner.is_mute();
+        for line in lines {
+            self.l1s[idx].tags.invalidate(line);
+            if is_mute {
+                self.l1s[idx].mute_data.remove(&line);
+            } else if let Some(dir) = self.l2.tags.lookup(line) {
+                dir.remove_sharer(l1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pair_system() -> (MemorySystem, L1Id, L1Id, L1Id, L1Id) {
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let v0 = mem.register_l1(Owner::vocal(0));
+        let m0 = mem.register_l1(Owner::mute(0));
+        let v1 = mem.register_l1(Owner::vocal(1));
+        let m1 = mem.register_l1(Owner::mute(1));
+        (mem, v0, m0, v1, m1)
+    }
+
+    #[test]
+    fn vocal_load_miss_then_hit() {
+        let (mut mem, v0, ..) = two_pair_system();
+        let a = Addr::new(0x1000);
+        mem.poke(a, 42);
+        let miss = mem.load(Cycle::ZERO, v0, a, PhantomStrength::Global);
+        assert!(!miss.l1_hit);
+        assert_eq!(miss.value, 42);
+        assert!(miss.done_at.as_u64() >= mem.config().l2_hit_latency);
+        let hit = mem.load(miss.done_at, v0, a, PhantomStrength::Global);
+        assert!(hit.l1_hit);
+        assert_eq!(hit.done_at - miss.done_at, mem.config().l1_hit_latency);
+    }
+
+    #[test]
+    fn store_is_visible_to_other_vocal() {
+        let (mut mem, v0, _, v1, _) = two_pair_system();
+        let a = Addr::new(0x2000);
+        mem.drain_store(Cycle::ZERO, v0, a, 7);
+        let ld = mem.load(Cycle::new(100), v1, a, PhantomStrength::Global);
+        assert_eq!(ld.value, 7);
+    }
+
+    #[test]
+    fn store_invalidates_other_vocal_sharer() {
+        let (mut mem, v0, _, v1, _) = two_pair_system();
+        let a = Addr::new(0x3000);
+        mem.load(Cycle::ZERO, v0, a, PhantomStrength::Global);
+        mem.load(Cycle::ZERO, v1, a, PhantomStrength::Global);
+        assert!(mem.l1_contains(v0, a));
+        mem.drain_store(Cycle::new(50), v1, a, 1);
+        assert!(!mem.l1_contains(v0, a), "v0 must be invalidated by v1's write");
+        assert!(mem.stats().invalidations.value() >= 1);
+    }
+
+    #[test]
+    fn mute_keeps_stale_copy_after_remote_write() {
+        // The crux of relaxed input replication: the mute is never
+        // invalidated, so a remote store leaves it holding stale data.
+        let (mut mem, v0, m0, v1, _) = two_pair_system();
+        let a = Addr::new(0x4000);
+        mem.poke(a, 10);
+        mem.load(Cycle::ZERO, v0, a, PhantomStrength::Global);
+        mem.load(Cycle::ZERO, m0, a, PhantomStrength::Global);
+        // Remote vocal writes the line.
+        mem.drain_store(Cycle::new(10), v1, a, 99);
+        // Vocal re-fetches coherent data; mute still hits its snapshot.
+        let vl = mem.load(Cycle::new(500), v0, a, PhantomStrength::Global);
+        let ml = mem.load(Cycle::new(500), m0, a, PhantomStrength::Global);
+        assert_eq!(vl.value, 99);
+        assert_eq!(ml.value, 10, "mute must observe the stale value");
+        assert!(ml.l1_hit);
+    }
+
+    #[test]
+    fn global_phantom_returns_coherent_data_on_miss() {
+        let (mut mem, _, m0, ..) = two_pair_system();
+        let a = Addr::new(0x5000);
+        mem.poke(a, 31);
+        let ld = mem.load(Cycle::ZERO, m0, a, PhantomStrength::Global);
+        assert_eq!(ld.value, 31);
+        assert!(!ld.incoherent_fill);
+        assert_eq!(mem.stats().phantom_requests.value(), 1);
+        assert_eq!(mem.stats().phantom_garbage_fills.value(), 0);
+    }
+
+    #[test]
+    fn null_phantom_returns_garbage() {
+        let (mut mem, _, m0, ..) = two_pair_system();
+        let a = Addr::new(0x6000);
+        mem.poke(a, 5);
+        let ld = mem.load(Cycle::ZERO, m0, a, PhantomStrength::Null);
+        assert!(ld.incoherent_fill);
+        assert_ne!(ld.value, 5, "null phantom must not search for coherent data");
+        assert_eq!(mem.stats().phantom_garbage_fills.value(), 1);
+    }
+
+    #[test]
+    fn shared_phantom_depends_on_l2_presence() {
+        let (mut mem, v0, m0, ..) = two_pair_system();
+        let a = Addr::new(0x7000);
+        mem.poke(a, 77);
+        // Cold L2: shared phantom returns garbage.
+        let cold = mem.load(Cycle::ZERO, m0, a, PhantomStrength::Shared);
+        assert!(cold.incoherent_fill);
+        // Vocal brings the line into L2; a fresh mute fill now succeeds.
+        let b = Addr::new(0x8000);
+        mem.poke(b, 88);
+        mem.load(Cycle::ZERO, v0, b, PhantomStrength::Global);
+        let warm = mem.load(Cycle::new(400), m0, b, PhantomStrength::Shared);
+        assert!(!warm.incoherent_fill);
+        assert_eq!(warm.value, 88);
+        assert!(warm.l2_hit);
+    }
+
+    #[test]
+    fn mute_store_stays_private() {
+        let (mut mem, _, m0, ..) = two_pair_system();
+        let a = Addr::new(0x9000);
+        mem.poke(a, 1);
+        mem.drain_store(Cycle::ZERO, m0, a, 1234);
+        assert_eq!(mem.peek_coherent(a), 1, "mute store must not reach the image");
+        let ld = mem.load(Cycle::new(600), m0, a, PhantomStrength::Global);
+        assert_eq!(ld.value, 1234, "mute sees its own store");
+    }
+
+    #[test]
+    fn vocal_atomic_reads_old_then_commits_new() {
+        let (mut mem, v0, ..) = two_pair_system();
+        let a = Addr::new(0xA000);
+        mem.poke(a, 0);
+        let acc = mem.atomic_read(Cycle::ZERO, v0, a, AtomicOp::Swap, 1, PhantomStrength::Global);
+        assert_eq!(acc.value, 0);
+        // Not visible until the commit half (post-comparison retirement).
+        assert_eq!(mem.peek_coherent(a), 0);
+        mem.atomic_commit(v0, a, AtomicOp::Swap, 1, 0);
+        assert_eq!(mem.peek_coherent(a), 1);
+    }
+
+    #[test]
+    fn atomic_commit_composes_with_interleaved_writer() {
+        let (mut mem, v0, _, v1, _) = two_pair_system();
+        let a = Addr::new(0xA100);
+        mem.poke(a, 10);
+        let acc =
+            mem.atomic_read(Cycle::ZERO, v0, a, AtomicOp::FetchAdd, 5, PhantomStrength::Global);
+        assert_eq!(acc.value, 10);
+        // A remote writer slips into the read-to-commit window.
+        mem.drain_store(Cycle::new(3), v1, a, 100);
+        mem.atomic_commit(v0, a, AtomicOp::FetchAdd, 5, 10);
+        assert_eq!(mem.peek_coherent(a), 105, "increment must not lose the remote write");
+    }
+
+    #[test]
+    fn mute_atomic_stays_private() {
+        let (mut mem, _, m0, ..) = two_pair_system();
+        let a = Addr::new(0xB000);
+        mem.poke(a, 0);
+        let acc = mem.atomic_read(
+            Cycle::ZERO,
+            m0,
+            a,
+            AtomicOp::FetchAdd,
+            5,
+            PhantomStrength::Global,
+        );
+        assert_eq!(acc.value, 0);
+        assert_eq!(mem.peek_coherent(a), 0);
+        assert_eq!(mem.peek_view(m0, a), 5);
+    }
+
+    #[test]
+    fn sync_access_restores_mute_coherence() {
+        let (mut mem, v0, m0, v1, _) = two_pair_system();
+        let a = Addr::new(0xC000);
+        mem.poke(a, 3);
+        mem.load(Cycle::ZERO, v0, a, PhantomStrength::Global);
+        mem.load(Cycle::ZERO, m0, a, PhantomStrength::Global);
+        mem.drain_store(Cycle::new(10), v1, a, 44); // race
+        let sync = mem.sync_access(Cycle::new(500), v0, m0, a, None);
+        assert_eq!(sync.value, 44, "sync must return the coherent value");
+        // Both halves now hold identical coherent data.
+        assert_eq!(mem.peek_view(m0, a), 44);
+        let ml = mem.load(Cycle::new(600), m0, a, PhantomStrength::Global);
+        assert!(ml.l1_hit);
+        assert_eq!(ml.value, 44);
+        assert_eq!(mem.stats().sync_requests.value(), 1);
+    }
+
+    #[test]
+    fn sync_access_with_rmw_applies_once() {
+        let (mut mem, v0, m0, ..) = two_pair_system();
+        let a = Addr::new(0xD000);
+        mem.poke(a, 0);
+        let sync = mem.sync_access(Cycle::ZERO, v0, m0, a, Some((AtomicOp::Swap, 1)));
+        assert_eq!(sync.value, 0);
+        assert_eq!(mem.peek_coherent(a), 1);
+        assert_eq!(mem.peek_view(m0, a), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mute cache")]
+    fn sync_access_rejects_swapped_handles() {
+        let (mut mem, v0, m0, ..) = two_pair_system();
+        let _ = mem.sync_access(Cycle::ZERO, m0, v0, Addr::new(0), None);
+    }
+
+    #[test]
+    fn bank_contention_serializes_requests() {
+        let (mut mem, v0, _, v1, _) = two_pair_system();
+        // Two misses to lines mapping to the same bank at the same cycle.
+        let banks = mem.config().l2_banks as u64;
+        let a = Addr::new(0x10_000);
+        let b = Addr::new(0x10_000 + banks * reunion_isa::LINE_BYTES);
+        let first = mem.load(Cycle::ZERO, v0, a, PhantomStrength::Global);
+        let second = mem.load(Cycle::ZERO, v1, b, PhantomStrength::Global);
+        assert!(second.done_at > first.done_at, "same-bank requests must serialize");
+    }
+
+    #[test]
+    fn mshr_backpressure_delays_bursts() {
+        let mut mem = MemorySystem::new(MemConfig::small()); // 4 MSHRs
+        let v0 = mem.register_l1(Owner::vocal(0));
+        let mut last = Cycle::ZERO;
+        for i in 0..6 {
+            // Distinct sets, all misses, all at cycle 0.
+            let a = Addr::new((0x40_000 + i * 0x1000) as u64);
+            let acc = mem.load(Cycle::ZERO, v0, a, PhantomStrength::Global);
+            last = last.max(acc.done_at);
+        }
+        // With only 4 MSHRs the 5th/6th misses start late.
+        let unconstrained = MemConfig::small();
+        let floor = unconstrained.l2_hit_latency + unconstrained.dram_latency;
+        assert!(last.as_u64() > floor + 10);
+    }
+
+    #[test]
+    fn l1_eviction_updates_directory() {
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let v0 = mem.register_l1(Owner::vocal(0));
+        let cfg = mem.config().clone();
+        let sets = cfg.l1_lines() / cfg.l1_assoc;
+        // Fill one set beyond associativity.
+        for i in 0..=cfg.l1_assoc {
+            let addr = Addr::new((i * sets) as u64 * reunion_isa::LINE_BYTES);
+            mem.load(Cycle::new(i as u64 * 1000), v0, addr, PhantomStrength::Global);
+        }
+        let first = Addr::new(0);
+        assert!(!mem.l1_contains(v0, first), "LRU line must be evicted");
+        // Its directory entry must no longer list v0 as a sharer.
+        let refetch = mem.load(Cycle::new(100_000), v0, first, PhantomStrength::Global);
+        assert!(!refetch.l1_hit);
+    }
+
+    #[test]
+    fn flush_l1_empties_cache() {
+        let (mut mem, v0, m0, ..) = two_pair_system();
+        mem.load(Cycle::ZERO, v0, Addr::new(0), PhantomStrength::Global);
+        mem.load(Cycle::ZERO, m0, Addr::new(0), PhantomStrength::Global);
+        mem.flush_l1(v0);
+        mem.flush_l1(m0);
+        assert_eq!(mem.l1_occupancy(v0), 0);
+        assert_eq!(mem.l1_occupancy(m0), 0);
+    }
+}

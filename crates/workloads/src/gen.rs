@@ -1,0 +1,417 @@
+//! The synthetic program generator.
+//!
+//! Generated programs are SPMD: every thread of a workload runs the *same*
+//! loop structure (seeded by the workload, not the thread), with per-thread
+//! private base addresses and cursor offsets set up in an init block. Both
+//! cores of a logical processor pair run the identical program, so any
+//! divergence between them comes from data values alone — exactly the
+//! paper's setting.
+//!
+//! ## Register conventions
+//!
+//! | register | role |
+//! |---|---|
+//! | r1 | private-region base (per thread) |
+//! | r2 | shared-region base |
+//! | r3 | lock-region base |
+//! | r4 | private cursor |
+//! | r5 | shared cursor |
+//! | r6 | data scratch |
+//! | r7 | current lock address |
+//! | r8 | constant 1 (lock token) |
+//! | r9 | atomic result |
+//! | r10–r19 | compute chain |
+//! | r20 | pointer-chase cursor (holds an absolute address) |
+//! | r21 | segment counter |
+//! | r22 | address/branch scratch |
+//! | r23 | constant 0 (lock release token) |
+//! | r24 | thread-affine lock bank base |
+//! | r26 | unprotected shared-read cursor |
+//! | r27 | thread-affine shared-data slice base |
+//! | r28 | common shared-data slice base (globally locked sections) |
+
+use reunion_isa::{Addr, AluOp, AtomicOp, BranchCond, Instruction as I, Program, RegId};
+use reunion_kernel::SimRng;
+
+use crate::{ProgramBuilder, WorkloadSpec};
+
+/// Base of the lock region (cache-line-separated spin locks).
+pub const LOCK_BASE: u64 = 0x0100_0000;
+/// Base of the shared data region.
+pub const SHARED_BASE: u64 = 0x1000_0000;
+/// Base of thread 0's private region; threads are spaced widely apart.
+pub const PRIVATE_BASE: u64 = 0x4000_0000;
+/// Address distance between consecutive threads' private regions.
+pub const PRIVATE_SPACING: u64 = 0x0800_0000;
+
+fn r(i: u8) -> RegId {
+    RegId::new(i)
+}
+
+/// Generates the program image for `thread` of the given workload.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`WorkloadSpec::assert_valid`].
+pub fn generate_program(spec: &WorkloadSpec, thread: usize) -> Program {
+    spec.assert_valid();
+    let mut rng = SimRng::seed_from(spec.seed);
+    let mut b = ProgramBuilder::new(format!("{}.t{}", spec.name, thread));
+
+    let priv_base = PRIVATE_BASE + thread as u64 * PRIVATE_SPACING;
+    let priv_mask = (spec.private_bytes - 1) as i64;
+    let shared_mask = (spec.shared_bytes - 1) as i64;
+    let lock_mask = (spec.locks * 64 - 1) as i64;
+
+    // ---- init block -------------------------------------------------
+    b.push(I::load_imm(r(1), priv_base as i64));
+    b.push(I::load_imm(r(2), SHARED_BASE as i64));
+    b.push(I::load_imm(r(3), LOCK_BASE as i64));
+    b.push(I::load_imm(r(8), 1));
+    b.push(I::load_imm(r(23), 0));
+    // Cursor starting offsets are spread per thread so threads do not march
+    // through shared data in lockstep.
+    b.push(I::load_imm(r(4), (thread as i64 * 0x2218) & priv_mask & !7));
+    b.push(I::load_imm(r(5), (thread as i64 * 0xA6E8) & shared_mask & !7));
+    // Pointer-chase cursor starts at a thread-dependent ring position.
+    let chase_start = SHARED_BASE + ((thread as u64 * 100_003) * 64 & (spec.shared_bytes - 1));
+    b.push(I::load_imm(r(20), chase_start as i64));
+    b.push(I::load_imm(r(21), thread as i64));
+    // Thread-affine lock bank. The globally shared bank is 16x larger than
+    // a thread bank (real systems have many more latches than any one CPU
+    // touches, so cross-CPU lock reuse is rare).
+    let bank_bytes = spec.locks * 64;
+    b.push(I::load_imm(r(24), (LOCK_BASE + (16 + thread as u64) * bank_bytes) as i64));
+    b.push(I::load_imm(r(26), (thread as i64 * 0x1A48) & shared_mask & !7));
+    // Thread-affine critical sections update a per-thread slice of the
+    // shared region (a latch protects specific pages); only critical
+    // sections under the globally shared lock bank touch common data.
+    let slice_bytes = (spec.shared_bytes / 32).max(8192);
+    b.push(I::load_imm(
+        r(27),
+        (SHARED_BASE + thread as u64 * slice_bytes) as i64,
+    ));
+    // The common slice updated by globally locked critical sections.
+    b.push(I::load_imm(
+        r(28),
+        (SHARED_BASE + 31 * slice_bytes) as i64,
+    ));
+    for i in 10..20 {
+        b.push(I::load_imm(r(i), (i as i64) * 0x1234_5 + 7));
+    }
+
+    let loop_start = b.here();
+
+    // ---- loop body: sampled segments --------------------------------
+    let weights = [
+        spec.compute_weight,
+        spec.private_weight,
+        spec.shared_read_weight,
+        spec.lock_weight,
+        spec.trap_weight,
+        spec.membar_weight,
+        spec.chase_weight,
+    ];
+    for segment in 0..spec.segments {
+        match rng.weighted_index(&weights) {
+            0 => emit_compute(&mut b, &mut rng),
+            1 => emit_private_access(&mut b, &mut rng, spec, priv_mask),
+            2 => emit_shared_read(&mut b, spec, shared_mask),
+            3 => {
+                let slice_mask = ((spec.shared_bytes / 32).max(8192) - 1) as i64;
+                let (bank, mask, data_base, data_mask) = if rng.chance(spec.lock_sharing) {
+                    // Globally locked sections update the dedicated common
+                    // slice (r28), not the thread slices.
+                    (r(3), spec.locks as i64 * 16 * 64 - 1, r(28), slice_mask)
+                } else {
+                    (r(24), lock_mask, r(27), slice_mask)
+                };
+                emit_critical_section(&mut b, &mut rng, spec, data_mask, mask, bank, data_base);
+            }
+            4 => {
+                b.push(I::trap());
+            }
+            5 => {
+                b.push(I::membar());
+            }
+            _ => emit_chase_step(&mut b),
+        }
+        // Periodic lightly-biased conditional branch for predictor work.
+        if segment % 3 == 2 {
+            b.push(I::add_imm(r(21), r(21), 1));
+            b.push(I::alu_imm(AluOp::And, r(22), r(21), 7));
+            let skip = b.branch_forward(BranchCond::Eqz, r(22));
+            b.push(I::alu_imm(AluOp::Xor, r(10), r(10), 0x5A));
+            b.patch_to_here(skip);
+        }
+    }
+
+    b.jump_to(loop_start);
+    b.build().expect("generated programs always validate")
+}
+
+/// A short dependent/independent mix of ALU operations.
+fn emit_compute(b: &mut ProgramBuilder, rng: &mut SimRng) {
+    let len = rng.range(3, 9) as usize;
+    for _ in 0..len {
+        let dst = r(10 + rng.below(10) as u8);
+        let a = r(10 + rng.below(10) as u8);
+        match rng.below(4) {
+            0 => b.push(I::alu(AluOp::Add, dst, a, r(10 + rng.below(10) as u8))),
+            1 => b.push(I::alu_imm(AluOp::Xor, dst, a, rng.below(0xFFFF) as i64)),
+            2 => b.push(I::alu_imm(AluOp::Mul, dst, a, (rng.below(13) + 3) as i64)),
+            _ => b.push(I::alu_imm(AluOp::Add, dst, a, rng.below(0xFF) as i64)),
+        };
+    }
+}
+
+/// Advance the private cursor and load or store through it.
+fn emit_private_access(
+    b: &mut ProgramBuilder,
+    rng: &mut SimRng,
+    spec: &WorkloadSpec,
+    mask: i64,
+) {
+    let ops = rng.range(1, 4);
+    for _ in 0..ops {
+        let advance = if rng.chance(spec.jump_fraction) {
+            spec.private_stride
+        } else {
+            spec.private_step
+        };
+        b.push(I::add_imm(r(4), r(4), advance as i64));
+        b.push(I::alu_imm(AluOp::And, r(4), r(4), mask));
+        b.push(I::alu(AluOp::Add, r(22), r(1), r(4)));
+        if rng.chance(spec.store_fraction) {
+            b.push(I::add_imm(r(6), r(6), 1));
+            b.push(I::store(r(22), r(6), 0));
+        } else {
+            b.push(I::load(r(6), r(22), 0));
+        }
+    }
+}
+
+/// Unprotected shared reads (scans, lookups) — the racy-read side of input
+/// incoherence.
+fn emit_shared_read(b: &mut ProgramBuilder, spec: &WorkloadSpec, mask: i64) {
+    b.push(I::add_imm(r(26), r(26), spec.shared_stride as i64));
+    b.push(I::alu_imm(AluOp::And, r(26), r(26), mask));
+    b.push(I::alu(AluOp::Add, r(22), r(2), r(26)));
+    b.push(I::load(r(6), r(22), 0));
+    // Consume the loaded value so divergence propagates into computation.
+    b.push(I::alu(AluOp::Xor, r(10), r(10), r(6)));
+}
+
+/// A spin-lock critical section updating shared data: the paper's canonical
+/// source of both coherence traffic and input incoherence.
+fn emit_critical_section(
+    b: &mut ProgramBuilder,
+    rng: &mut SimRng,
+    spec: &WorkloadSpec,
+    shared_mask: i64,
+    lock_mask: i64,
+    bank: RegId,
+    data_base: RegId,
+) {
+    // Pick a lock within the bank as a function of the evolving segment
+    // counter.
+    b.push(I::alu_imm(AluOp::Shl, r(22), r(21), 6));
+    b.push(I::alu_imm(AluOp::And, r(22), r(22), lock_mask));
+    b.push(I::alu(AluOp::Add, r(7), bank, r(22)));
+    // spin: r9 = swap([r7], 1); bnez r9 -> spin
+    let spin = b.here();
+    b.push(I::atomic(AtomicOp::Swap, r(9), r(7), r(8), 0));
+    b.branch_to(BranchCond::Nez, r(9), spin);
+    // Critical section: read-modify-write shared words.
+    let body = spec.critical_section_len.max(2);
+    for i in 0..body {
+        if i % 3 == 0 {
+            b.push(I::add_imm(r(5), r(5), spec.shared_stride as i64));
+            b.push(I::alu_imm(AluOp::And, r(5), r(5), shared_mask));
+            b.push(I::alu(AluOp::Add, r(22), data_base, r(5)));
+        }
+        if rng.chance(0.5) {
+            b.push(I::load(r(6), r(22), 0));
+        } else {
+            b.push(I::add_imm(r(6), r(6), 3));
+            b.push(I::store(r(22), r(6), 0));
+        }
+    }
+    // Release: membar (TSO store-release discipline), then clear the lock.
+    b.push(I::membar());
+    b.push(I::store(r(7), r(23), 0));
+}
+
+/// One dependent-load step of a pointer chase (em3d-style).
+fn emit_chase_step(b: &mut ProgramBuilder) {
+    b.push(I::load(r(20), r(20), 0));
+}
+
+/// Initial memory contents required by the workload: the pointer-chase ring
+/// through the shared region (one pointer per cache line).
+///
+/// The ring visits every line of the shared region in a strided order, so a
+/// chase's working set is the full region — em3d's defining property.
+pub fn initial_memory(spec: &WorkloadSpec) -> Vec<(Addr, u64)> {
+    // Locks must start released: unwritten words read as a nonzero hash,
+    // which would leave every spin lock permanently "held". Bank 0 is the
+    // globally shared bank; banks 1..=32 are thread-affine.
+    let mut init: Vec<(Addr, u64)> = (0..spec.locks * (16 + 32))
+        .map(|i| (Addr::new(LOCK_BASE + i * 64), 0))
+        .collect();
+    if spec.chase_weight > 0.0 {
+        let lines = spec.shared_bytes / 64;
+        // A sequential ring over every line of the region: the working set
+        // is the full region (em3d's defining property) with realistic page
+        // locality (one DTLB miss per 128 chased lines).
+        let pos = |i: u64| SHARED_BASE + (i % lines) * 64;
+        init.extend((0..lines).map(|i| (Addr::new(pos(i)), pos(i + 1))));
+    }
+    init
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadClass;
+    use reunion_isa::{FunctionalCore, Opcode, SparseMemory};
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "gen-test",
+            class: WorkloadClass::Oltp,
+            private_bytes: 1 << 20,
+            shared_bytes: 1 << 20,
+            locks: 16,
+            critical_section_len: 6,
+            lock_weight: 1.0,
+            shared_read_weight: 1.0,
+            private_weight: 3.0,
+            compute_weight: 4.0,
+            trap_weight: 0.2,
+            membar_weight: 0.2,
+            chase_weight: 0.0,
+            store_fraction: 0.3,
+            private_stride: 8 * 40503,
+            private_step: 24,
+            jump_fraction: 0.05,
+            shared_stride: 8 * 10501,
+            lock_sharing: 0.1,
+            itlb_miss_per_million: 1000,
+            segments: 48,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn generated_program_validates_and_loops() {
+        let prog = generate_program(&spec(), 0);
+        assert!(prog.len() > 100);
+        let mut mem = SparseMemory::new();
+        let mut core = FunctionalCore::new();
+        let steps = core.run(&prog, &mut mem, 50_000);
+        assert_eq!(steps, 50_000, "program must loop forever");
+    }
+
+    #[test]
+    fn threads_share_code_structure_but_differ_in_bases() {
+        let p0 = generate_program(&spec(), 0);
+        let p1 = generate_program(&spec(), 1);
+        assert_eq!(p0.len(), p1.len());
+        // The loop bodies (after init) are identical.
+        let diff = p0
+            .iter()
+            .zip(p1.iter())
+            .filter(|((_, a), (_, b))| a != b)
+            .count();
+        assert!(diff > 0, "private bases must differ");
+        assert!(diff < 10, "only init-block constants may differ, got {diff}");
+    }
+
+    #[test]
+    fn cursor_addresses_stay_in_region() {
+        let s = spec();
+        let prog = generate_program(&s, 2);
+        let mut mem = SparseMemory::new();
+        let mut core = FunctionalCore::new();
+        for _ in 0..100_000 {
+            let effect = core.step(&prog, &mut mem);
+            if effect.is_none() {
+                break;
+            }
+        }
+        // Private cursor bounded by the mask.
+        let cursor = core.state.regs.read(r(4));
+        assert!(cursor < s.private_bytes);
+        let shared_cursor = core.state.regs.read(r(5));
+        assert!(shared_cursor < s.shared_bytes);
+    }
+
+    #[test]
+    fn serializing_mix_present() {
+        let prog = generate_program(&spec(), 0);
+        let serializing = prog.count_matching(|op| op.is_serializing());
+        let total = prog.len();
+        assert!(serializing > 0);
+        // Lock-heavy OLTP spec: a visible but minority fraction.
+        assert!(serializing * 4 < total, "{serializing}/{total}");
+    }
+
+    #[test]
+    fn lock_protocol_is_balanced() {
+        // Every atomic swap (acquire) has a matching release store to r7.
+        let prog = generate_program(&spec(), 0);
+        let acquires = prog.count_matching(|op| matches!(op, Opcode::Atomic(_)));
+        let releases = prog
+            .iter()
+            .filter(|(_, i)| i.op == Opcode::Store && i.src1 == Some(r(7)))
+            .count();
+        assert_eq!(acquires, releases);
+        assert!(acquires > 0);
+    }
+
+    #[test]
+    fn chase_ring_is_closed_and_in_region() {
+        let mut s = spec();
+        s.chase_weight = 2.0;
+        s.shared_bytes = 1 << 16; // 1024 lines for a fast test
+        let init = initial_memory(&s);
+        assert_eq!(
+            init.len(),
+            (s.shared_bytes / 64) as usize + (s.locks * 48) as usize
+        );
+        // Follow the ring; it must return to the start after exactly
+        // `lines` hops, visiting every line once.
+        let map: std::collections::HashMap<u64, u64> = init
+            .iter()
+            .filter(|(a, _)| a.as_u64() >= SHARED_BASE)
+            .map(|(a, v)| (a.as_u64(), *v))
+            .collect();
+        let start = SHARED_BASE;
+        let mut at = start;
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            assert!(seen.insert(at), "ring revisits {at:#x}");
+            assert!(at >= SHARED_BASE && at < SHARED_BASE + s.shared_bytes);
+            at = map[&at];
+            if at == start {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), (s.shared_bytes / 64) as usize);
+    }
+
+    #[test]
+    fn no_chase_still_initializes_locks() {
+        let init = initial_memory(&spec());
+        assert_eq!(init.len() as u64, spec().locks * 48);
+        assert!(init.iter().all(|(a, v)| *v == 0 && a.as_u64() >= LOCK_BASE));
+    }
+
+    #[test]
+    fn same_spec_same_program() {
+        let a = generate_program(&spec(), 3);
+        let b = generate_program(&spec(), 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,185 @@
+//! Workload parameterization.
+
+use std::fmt;
+
+/// The four workload classes of the evaluation (Table 2 / Figure 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WorkloadClass {
+    /// SPECweb99-style web serving (Apache, Zeus): trap-heavy request
+    /// loops, moderate sharing.
+    Web,
+    /// TPC-C-style OLTP (DB2, Oracle): lock-intensive transactions,
+    /// frequent membars, the largest TLB pressure.
+    Oltp,
+    /// TPC-H-style decision support (DB2 Q1/Q2/Q17): scan/join loops over
+    /// large shared tables, few serializing events.
+    Dss,
+    /// Parallel scientific kernels (em3d, moldyn, ocean, sparse): high MLP,
+    /// ROB-saturating, minimal serialization.
+    Scientific,
+}
+
+impl WorkloadClass {
+    /// All classes, in the paper's presentation order.
+    pub const ALL: [WorkloadClass; 4] = [
+        WorkloadClass::Web,
+        WorkloadClass::Oltp,
+        WorkloadClass::Dss,
+        WorkloadClass::Scientific,
+    ];
+
+    /// Whether the paper groups this class as "commercial".
+    pub fn is_commercial(self) -> bool {
+        !matches!(self, WorkloadClass::Scientific)
+    }
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WorkloadClass::Web => "Web",
+            WorkloadClass::Oltp => "OLTP",
+            WorkloadClass::Dss => "DSS",
+            WorkloadClass::Scientific => "Scientific",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Generator parameters for one workload.
+///
+/// Footprint sizes must be powers of two (address wrapping uses masks).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Display name (Table 2 row).
+    pub name: &'static str,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// Per-thread private data footprint in bytes (power of two).
+    pub private_bytes: u64,
+    /// Shared data footprint in bytes (power of two).
+    pub shared_bytes: u64,
+    /// Number of spin locks protecting shared updates.
+    pub locks: u64,
+    /// Instructions per critical section body.
+    pub critical_section_len: usize,
+    /// Relative weight of lock-protected shared update segments.
+    pub lock_weight: f64,
+    /// Relative weight of unprotected shared read segments (scans).
+    pub shared_read_weight: f64,
+    /// Relative weight of private-data access segments.
+    pub private_weight: f64,
+    /// Relative weight of pure compute segments.
+    pub compute_weight: f64,
+    /// Relative weight of trap segments (system activity).
+    pub trap_weight: f64,
+    /// Relative weight of explicit memory-barrier segments.
+    pub membar_weight: f64,
+    /// Relative weight of pointer-chase steps (dependent loads).
+    pub chase_weight: f64,
+    /// Fraction of private/shared data accesses that are stores.
+    pub store_fraction: f64,
+    /// Private-region long-jump stride in bytes (multiple of 8), used for
+    /// the occasional locality-breaking jump.
+    pub private_stride: u64,
+    /// Private-region sequential step in bytes (multiple of 8): the common
+    /// page-local advance between jumps.
+    pub private_step: u64,
+    /// Fraction of private accesses that take the long jump instead of the
+    /// sequential step (controls DTLB and cache locality).
+    pub jump_fraction: f64,
+    /// Shared-region access stride in bytes (multiple of 8).
+    pub shared_stride: u64,
+    /// Fraction of critical sections that use a globally shared lock bank
+    /// instead of the thread-affine bank (controls lock contention and the
+    /// input-incoherence rate).
+    pub lock_sharing: f64,
+    /// Synthetic ITLB miss rate per million fetched instructions
+    /// (instruction-footprint surrogate; Table 3).
+    pub itlb_miss_per_million: u64,
+    /// Number of static loop-body segments to generate.
+    pub segments: usize,
+    /// Generator seed (fixed per workload for reproducibility).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Validates the power-of-two footprint requirements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a footprint is not a power of two or is smaller than a
+    /// page.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.private_bytes.is_power_of_two() && self.private_bytes >= 8192,
+            "{}: private footprint must be a power of two >= 8 KB",
+            self.name
+        );
+        assert!(
+            self.shared_bytes.is_power_of_two() && self.shared_bytes >= 8192,
+            "{}: shared footprint must be a power of two >= 8 KB",
+            self.name
+        );
+        assert!(self.locks > 0, "{}: need at least one lock", self.name);
+        assert!(self.segments >= 8, "{}: too few segments", self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            class: WorkloadClass::Oltp,
+            private_bytes: 1 << 20,
+            shared_bytes: 1 << 20,
+            locks: 16,
+            critical_section_len: 8,
+            lock_weight: 1.0,
+            shared_read_weight: 1.0,
+            private_weight: 4.0,
+            compute_weight: 4.0,
+            trap_weight: 0.1,
+            membar_weight: 0.1,
+            chase_weight: 0.0,
+            store_fraction: 0.3,
+            private_stride: 8 * 40503,
+            private_step: 24,
+            jump_fraction: 0.03,
+            shared_stride: 8 * 10501,
+            lock_sharing: 0.05,
+            itlb_miss_per_million: 1000,
+            segments: 32,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn classes_partition_commercial() {
+        assert!(WorkloadClass::Web.is_commercial());
+        assert!(WorkloadClass::Oltp.is_commercial());
+        assert!(WorkloadClass::Dss.is_commercial());
+        assert!(!WorkloadClass::Scientific.is_commercial());
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        spec().assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_footprint() {
+        let mut s = spec();
+        s.private_bytes = 3 << 20;
+        s.assert_valid();
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(WorkloadClass::Scientific.to_string(), "Scientific");
+    }
+}

@@ -1,0 +1,423 @@
+//! The eleven named workloads of the evaluation (Table 2).
+
+use reunion_isa::{Addr, Program};
+
+use crate::{gen, WorkloadClass, WorkloadSpec};
+
+/// A named workload: its parameterization plus program/memory generation.
+///
+/// # Examples
+///
+/// ```
+/// use reunion_workloads::Workload;
+///
+/// let em3d = Workload::by_name("em3d").expect("in suite");
+/// assert!(!em3d.initial_memory().is_empty(), "em3d has a pointer ring");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Workload {
+    spec: WorkloadSpec,
+}
+
+impl Workload {
+    /// Wraps a custom spec (the named suite uses [`suite`]).
+    pub fn from_spec(spec: WorkloadSpec) -> Self {
+        spec.assert_valid();
+        Workload { spec }
+    }
+
+    /// Looks up a workload from the standard suite by (case-insensitive)
+    /// name.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        suite()
+            .into_iter()
+            .find(|w| w.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The workload's name (Table 2 row).
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    /// The workload's class.
+    pub fn class(&self) -> WorkloadClass {
+        self.spec.class
+    }
+
+    /// The full parameterization.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Generates the program image for logical processor `thread`.
+    pub fn program(&self, thread: usize) -> Program {
+        gen::generate_program(&self.spec, thread)
+    }
+
+    /// Initial memory contents (pointer rings etc.), to be applied to the
+    /// memory system before simulation.
+    pub fn initial_memory(&self) -> Vec<(Addr, u64)> {
+        gen::initial_memory(&self.spec)
+    }
+}
+
+/// The standard eleven-workload suite.
+///
+/// Parameters follow Table 2's classes: web serving is trap-heavy with
+/// moderate sharing; OLTP is lock- and membar-intensive with the largest
+/// TLB pressure; DSS scans large shared tables with few serializing events
+/// (Q1 scan-dominated, Q2 join-dominated, Q17 balanced); the scientific
+/// kernels have high MLP and minimal serialization, with em3d's pointer
+/// chase exceeding the 16 MB shared L2.
+pub fn suite() -> Vec<Workload> {
+    let specs = vec![
+        WorkloadSpec {
+            name: "apache",
+            class: WorkloadClass::Web,
+            private_bytes: 8 << 20,
+            shared_bytes: 2 << 20,
+            locks: 64,
+            critical_section_len: 10,
+            lock_weight: 0.60,
+            shared_read_weight: 0.6,
+            private_weight: 3.0,
+            compute_weight: 4.0,
+            trap_weight: 0.50,
+            membar_weight: 0.40,
+            chase_weight: 0.0,
+            store_fraction: 0.30,
+            private_stride: 8 * 40503,
+            private_step: 24,
+            jump_fraction: 0.02,
+            shared_stride: 8 * 65,
+            lock_sharing: 0.03,
+            itlb_miss_per_million: 1400,
+            segments: 96,
+            seed: 0xA9AC4E,
+        },
+        WorkloadSpec {
+            name: "zeus",
+            class: WorkloadClass::Web,
+            private_bytes: 8 << 20,
+            shared_bytes: 2 << 20,
+            locks: 64,
+            critical_section_len: 8,
+            lock_weight: 0.50,
+            shared_read_weight: 0.6,
+            private_weight: 3.0,
+            compute_weight: 4.5,
+            trap_weight: 0.45,
+            membar_weight: 0.35,
+            chase_weight: 0.0,
+            store_fraction: 0.25,
+            private_stride: 8 * 40503,
+            private_step: 24,
+            jump_fraction: 0.015,
+            shared_stride: 8 * 65,
+            lock_sharing: 0.03,
+            itlb_miss_per_million: 1200,
+            segments: 96,
+            seed: 0x5EC5,
+        },
+        WorkloadSpec {
+            name: "db2_oltp",
+            class: WorkloadClass::Oltp,
+            private_bytes: 16 << 20,
+            shared_bytes: 4 << 20,
+            locks: 128,
+            critical_section_len: 14,
+            lock_weight: 1.00,
+            shared_read_weight: 0.6,
+            private_weight: 3.0,
+            compute_weight: 3.5,
+            trap_weight: 0.50,
+            membar_weight: 0.60,
+            chase_weight: 0.0,
+            store_fraction: 0.35,
+            private_stride: 8 * 40503,
+            private_step: 24,
+            jump_fraction: 0.03,
+            shared_stride: 8 * 65,
+            lock_sharing: 0.05,
+            itlb_miss_per_million: 1800,
+            segments: 96,
+            seed: 0xDB2,
+        },
+        WorkloadSpec {
+            name: "oracle_oltp",
+            class: WorkloadClass::Oltp,
+            private_bytes: 16 << 20,
+            shared_bytes: 4 << 20,
+            locks: 128,
+            critical_section_len: 12,
+            lock_weight: 0.90,
+            shared_read_weight: 0.6,
+            private_weight: 3.0,
+            compute_weight: 3.5,
+            trap_weight: 0.50,
+            membar_weight: 0.70,
+            chase_weight: 0.0,
+            store_fraction: 0.35,
+            private_stride: 8 * 40503,
+            private_step: 24,
+            jump_fraction: 0.035,
+            shared_stride: 8 * 65,
+            lock_sharing: 0.05,
+            itlb_miss_per_million: 2500,
+            segments: 96,
+            seed: 0x04AC1E,
+        },
+        WorkloadSpec {
+            name: "db2_dss_q1",
+            class: WorkloadClass::Dss,
+            private_bytes: 4 << 20,
+            shared_bytes: 32 << 20,
+            locks: 16,
+            critical_section_len: 8,
+            lock_weight: 0.05,
+            shared_read_weight: 4.0,
+            private_weight: 1.0,
+            compute_weight: 3.0,
+            trap_weight: 0.030,
+            membar_weight: 0.05,
+            chase_weight: 0.0,
+            store_fraction: 0.08,
+            private_stride: 8 * 40503,
+            private_step: 8,
+            jump_fraction: 0.002,
+            shared_stride: 8,
+            lock_sharing: 0.02,
+            itlb_miss_per_million: 150,
+            segments: 96,
+            seed: 0xD551,
+        },
+        WorkloadSpec {
+            name: "db2_dss_q2",
+            class: WorkloadClass::Dss,
+            private_bytes: 8 << 20,
+            shared_bytes: 16 << 20,
+            locks: 32,
+            critical_section_len: 8,
+            lock_weight: 0.10,
+            shared_read_weight: 2.5,
+            private_weight: 2.0,
+            compute_weight: 3.5,
+            trap_weight: 0.060,
+            membar_weight: 0.08,
+            chase_weight: 0.0,
+            store_fraction: 0.12,
+            private_stride: 8 * 40503,
+            private_step: 24,
+            jump_fraction: 0.012,
+            shared_stride: 8 * 129,
+            lock_sharing: 0.02,
+            itlb_miss_per_million: 800,
+            segments: 96,
+            seed: 0xD552,
+        },
+        WorkloadSpec {
+            name: "db2_dss_q17",
+            class: WorkloadClass::Dss,
+            private_bytes: 8 << 20,
+            shared_bytes: 16 << 20,
+            locks: 32,
+            critical_section_len: 8,
+            lock_weight: 0.08,
+            shared_read_weight: 3.0,
+            private_weight: 1.5,
+            compute_weight: 3.2,
+            trap_weight: 0.060,
+            membar_weight: 0.08,
+            chase_weight: 0.0,
+            store_fraction: 0.10,
+            private_stride: 8 * 40503,
+            private_step: 16,
+            jump_fraction: 0.012,
+            shared_stride: 8 * 65,
+            lock_sharing: 0.02,
+            itlb_miss_per_million: 850,
+            segments: 96,
+            seed: 0xD517,
+        },
+        WorkloadSpec {
+            name: "em3d",
+            class: WorkloadClass::Scientific,
+            private_bytes: 4 << 20,
+            shared_bytes: 32 << 20, // exceeds the 16 MB shared L2
+            locks: 16,
+            critical_section_len: 6,
+            lock_weight: 0.02,
+            shared_read_weight: 0.5,
+            private_weight: 1.0,
+            compute_weight: 2.0,
+            trap_weight: 0.002,
+            membar_weight: 0.010,
+            chase_weight: 3.0,
+            store_fraction: 0.15,
+            private_stride: 8 * 40503,
+            private_step: 24,
+            jump_fraction: 0.004,
+            shared_stride: 8 * 9,
+            lock_sharing: 0.02,
+            itlb_miss_per_million: 60,
+            segments: 96,
+            seed: 0xE3D,
+        },
+        WorkloadSpec {
+            name: "moldyn",
+            class: WorkloadClass::Scientific,
+            private_bytes: 8 << 20,
+            shared_bytes: 4 << 20,
+            locks: 64,
+            critical_section_len: 10,
+            lock_weight: 0.08,
+            shared_read_weight: 0.8,
+            private_weight: 3.0,
+            compute_weight: 4.0,
+            trap_weight: 0.003,
+            membar_weight: 0.020,
+            chase_weight: 0.0,
+            store_fraction: 0.30,
+            private_stride: 8 * 5003,
+            private_step: 16,
+            jump_fraction: 0.003, // neighbor-list locality
+            shared_stride: 8 * 9,
+            lock_sharing: 0.02,
+            itlb_miss_per_million: 60,
+            segments: 96,
+            seed: 0x301D,
+        },
+        WorkloadSpec {
+            name: "ocean",
+            class: WorkloadClass::Scientific,
+            private_bytes: 16 << 20,
+            shared_bytes: 4 << 20,
+            locks: 32,
+            critical_section_len: 8,
+            lock_weight: 0.04,
+            shared_read_weight: 0.8,
+            private_weight: 3.5,
+            compute_weight: 3.0,
+            trap_weight: 0.003,
+            membar_weight: 0.015,
+            chase_weight: 0.0,
+            store_fraction: 0.35,
+            private_stride: 8 * 33,
+            private_step: 8,
+            jump_fraction: 0.002, // stencil: near-neighbor sweeps
+            shared_stride: 8 * 9,
+            lock_sharing: 0.02,
+            itlb_miss_per_million: 60,
+            segments: 96,
+            seed: 0x0CEA,
+        },
+        WorkloadSpec {
+            name: "sparse",
+            class: WorkloadClass::Scientific,
+            private_bytes: 8 << 20,
+            shared_bytes: 8 << 20,
+            locks: 16,
+            critical_section_len: 6,
+            lock_weight: 0.03,
+            shared_read_weight: 1.5,
+            private_weight: 2.5,
+            compute_weight: 3.0,
+            trap_weight: 0.003,
+            membar_weight: 0.012,
+            chase_weight: 0.0,
+            store_fraction: 0.20,
+            private_stride: 8 * 40503,
+            private_step: 32,
+            jump_fraction: 0.004, // indirect row accesses
+            shared_stride: 8 * 17,
+            lock_sharing: 0.02,
+            itlb_miss_per_million: 60,
+            segments: 96,
+            seed: 0x59A5,
+        },
+    ];
+    specs.into_iter().map(Workload::from_spec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reunion_isa::{FunctionalCore, SparseMemory};
+
+    #[test]
+    fn suite_has_eleven_named_workloads() {
+        let all = suite();
+        assert_eq!(all.len(), 11);
+        let names: std::collections::HashSet<_> = all.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 11, "names must be unique");
+    }
+
+    #[test]
+    fn class_composition_matches_table2() {
+        let all = suite();
+        let count = |c: WorkloadClass| all.iter().filter(|w| w.class() == c).count();
+        assert_eq!(count(WorkloadClass::Web), 2);
+        assert_eq!(count(WorkloadClass::Oltp), 2);
+        assert_eq!(count(WorkloadClass::Dss), 3);
+        assert_eq!(count(WorkloadClass::Scientific), 4);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(Workload::by_name("APACHE").is_some());
+        assert!(Workload::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_workload_runs_functionally() {
+        for w in suite() {
+            let prog = w.program(0);
+            let mut mem = SparseMemory::new();
+            for (addr, value) in w.initial_memory() {
+                mem.poke(addr, value);
+            }
+            let mut core = FunctionalCore::new();
+            let steps = core.run(&prog, &mut mem, 20_000);
+            assert_eq!(steps, 20_000, "{} must loop forever", w.name());
+        }
+    }
+
+    #[test]
+    fn commercial_workloads_serialize_more_than_scientific() {
+        let all = suite();
+        let density = |w: &Workload| {
+            let p = w.program(0);
+            p.count_matching(|op| op.is_serializing()) as f64 / p.len() as f64
+        };
+        let oltp_avg: f64 = all
+            .iter()
+            .filter(|w| w.class() == WorkloadClass::Oltp)
+            .map(density)
+            .sum::<f64>()
+            / 2.0;
+        let sci_avg: f64 = all
+            .iter()
+            .filter(|w| w.class() == WorkloadClass::Scientific)
+            .map(density)
+            .sum::<f64>()
+            / 4.0;
+        assert!(
+            oltp_avg > 2.0 * sci_avg,
+            "OLTP serializing density {oltp_avg:.4} vs scientific {sci_avg:.4}"
+        );
+    }
+
+    #[test]
+    fn em3d_has_largest_shared_footprint() {
+        let em3d = Workload::by_name("em3d").unwrap();
+        assert!(em3d.spec().shared_bytes > 16 << 20, "must exceed the L2");
+        assert!(!em3d.initial_memory().is_empty());
+    }
+
+    #[test]
+    fn all_programs_are_deterministic() {
+        for w in suite() {
+            assert_eq!(w.program(1), w.program(1), "{}", w.name());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build a Reunion CMP, run a workload, read the results.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use reunion_core::{measure, normalized_ipc, ExecutionMode, SampleConfig, SystemConfig};
+use reunion_workloads::Workload;
+
+fn main() {
+    // Pick a workload from the Table 2 suite.
+    let workload = Workload::by_name("apache").expect("apache is in the suite");
+
+    // The paper's Table 1 machine: 4 logical processors, 64 KB L1s,
+    // 16 MB shared L2, 10-cycle fingerprint comparison latency.
+    let sample = SampleConfig { warmup: 50_000, window: 25_000, windows: 2 };
+
+    // Measure the non-redundant baseline.
+    let base = measure(
+        &SystemConfig::table1(ExecutionMode::NonRedundant),
+        &workload,
+        &sample,
+    );
+    println!(
+        "non-redundant baseline: {:.3} user IPC (±{:.3})",
+        base.ipc, base.ipc_ci95
+    );
+
+    // Measure Reunion against a matched baseline.
+    let reunion = normalized_ipc(
+        &SystemConfig::table1(ExecutionMode::Reunion),
+        &workload,
+        &sample,
+    );
+    println!(
+        "reunion: {:.3} normalized IPC, {:.1} input-incoherence events/1M, {} sync requests",
+        reunion.normalized_ipc,
+        reunion.model.incoherence_per_million(),
+        reunion.model.totals.sync_requests,
+    );
+    println!(
+        "         {} recoveries, {} phase-2, {} failures",
+        reunion.model.totals.recoveries, reunion.model.totals.phase2, reunion.model.totals.failures,
+    );
+
+    // And the strict-input-replication oracle for comparison.
+    let strict = normalized_ipc(
+        &SystemConfig::table1(ExecutionMode::Strict),
+        &workload,
+        &sample,
+    );
+    println!("strict oracle: {:.3} normalized IPC", strict.normalized_ipc);
+}

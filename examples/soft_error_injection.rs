@@ -1,0 +1,44 @@
+//! Soft-error tolerance demonstration: single-bit flips injected into the
+//! vocal and mute pipelines are detected by fingerprint comparison before
+//! retirement and repaired by rollback recovery — the architectural states
+//! of the two cores agree afterwards.
+//!
+//! ```bash
+//! cargo run --release --example soft_error_injection
+//! ```
+
+use reunion_core::{CmpSystem, ExecutionMode, SystemConfig};
+use reunion_workloads::Workload;
+
+fn main() {
+    let workload = Workload::by_name("sparse").expect("in suite");
+    let cfg = SystemConfig::small_test(ExecutionMode::Reunion);
+    let mut sys = CmpSystem::new(&cfg, &workload);
+
+    // Warm up, then strike both halves of pair 0 at different points.
+    sys.run(5_000);
+    {
+        let pair = sys.pair_mut(0).expect("redundant configuration");
+        pair.vocal_mut().inject_soft_error_at(2_000, 17);
+        pair.mute_mut().inject_soft_error_at(4_000, 5);
+    }
+    sys.run(60_000);
+
+    let stats = sys.window_stats();
+    println!("detected mismatches: {}", stats.mismatches);
+    println!("recoveries:          {}", stats.recoveries);
+    println!("failures:            {}", stats.failures);
+    println!("user instructions:   {}", stats.user_instructions);
+
+    let pair = sys.pair_mut(0).expect("redundant configuration");
+    let vocal_state = pair.vocal().arch_state().clone();
+    let mute_state = pair.mute().arch_state().clone();
+    assert!(stats.mismatches >= 2, "both injected errors must be detected");
+    assert_eq!(stats.failures, 0, "single-bit errors are always recoverable");
+    assert_eq!(
+        vocal_state.regs, mute_state.regs,
+        "after recovery the pair's safe states agree"
+    );
+    println!("\nboth injected errors were detected and recovered;");
+    println!("the vocal and mute architectural register files agree.");
+}
