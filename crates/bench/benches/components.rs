@@ -1,13 +1,18 @@
-//! Criterion microbenchmarks of the simulator substrates.
+//! Microbenchmarks of the simulator substrates.
 //!
 //! These measure *simulator* throughput (host time), complementing the
 //! experiment binaries which measure *simulated* performance. They catch
 //! regressions in the hot paths: cache lookups, fingerprint hashing, memory
 //! accesses, core ticks and whole-system ticks.
+//!
+//! The build container has no network access, so instead of criterion this
+//! uses a small local harness (`harness = false` in Cargo.toml): each
+//! benchmark is warmed, then timed over enough iterations to fill a fixed
+//! measurement budget, and the best-of-N samples ns/iter is reported.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use reunion_core::{CmpSystem, ExecutionMode, SystemConfig};
 use reunion_cpu::{Core, CoreConfig};
@@ -16,6 +21,56 @@ use reunion_isa::{Addr, Instruction, Program, RegId};
 use reunion_kernel::Cycle;
 use reunion_mem::{CacheArray, MemConfig, MemorySystem, Owner, PhantomStrength};
 use reunion_workloads::Workload;
+
+/// Minimal stand-in for criterion's driver: `bench_function` + `Bencher::iter`.
+struct Criterion {
+    samples: usize,
+    budget: Duration,
+}
+
+struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl Criterion {
+    fn new() -> Self {
+        let quick = reunion_sim::env_flag("REUNION_FAST");
+        Criterion {
+            samples: if quick { 3 } else { 10 },
+            budget: Duration::from_millis(if quick { 5 } else { 50 }),
+        }
+    }
+
+    fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        // Calibration pass: find an iteration count that fills the budget.
+        let mut b = Bencher { iters: 1_000, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos().max(1) as f64 / b.iters as f64;
+        let iters = ((self.budget.as_nanos() as f64 / per_iter) as u64).clamp(100, 50_000_000);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        println!("{name:<32} {best:>12.1} ns/iter   ({iters} iters x {} samples)", self.samples);
+    }
+}
 
 fn bench_cache_array(c: &mut Criterion) {
     let mut cache: CacheArray<u8> = CacheArray::new(1024, 2);
@@ -134,9 +189,11 @@ fn bench_system_tick(c: &mut Criterion) {
     c.bench_function("system_tick_reunion", |b| b.iter(|| reunion.tick()));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cache_array, bench_fingerprint, bench_memory_system, bench_core_tick, bench_system_tick
+fn main() {
+    let mut c = Criterion::new();
+    bench_cache_array(&mut c);
+    bench_fingerprint(&mut c);
+    bench_memory_system(&mut c);
+    bench_core_tick(&mut c);
+    bench_system_tick(&mut c);
 }
-criterion_main!(benches);

@@ -1,38 +1,54 @@
 //! Figure 5: baseline performance of Strict and Reunion, normalized to the
 //! non-redundant CMP, at a 10-cycle comparison latency.
 
-use reunion_bench::{banner, commercial_scientific_averages, sample_config, workloads};
-use reunion_core::{normalized_ipc, ExecutionMode, SystemConfig};
+use reunion_bench::{
+    banner, commercial_scientific_averages, run_and_emit, sample_config, workloads,
+};
+use reunion_core::ExecutionMode;
+use reunion_sim::ExperimentGrid;
 
 fn main() {
     banner(
         "Figure 5",
         "Normalized IPC of Strict and Reunion (10-cycle comparison latency)",
     );
-    let sample = sample_config();
+    let grid = ExperimentGrid::builder(
+        "fig5",
+        "Normalized IPC of Strict and Reunion (10-cycle comparison latency)",
+    )
+    .sample(sample_config())
+    .workloads(workloads())
+    .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
+    .build();
+    let report = run_and_emit(&grid);
+
     println!(
         "{:<12} {:<11} {:>9} {:>9} {:>12} {:>9}",
         "workload", "class", "strict", "reunion", "incoh/1M", "base-IPC"
     );
-    let mut strict_rows = Vec::new();
-    let mut reunion_rows = Vec::new();
     for w in workloads() {
-        let strict = normalized_ipc(&SystemConfig::table1(ExecutionMode::Strict), &w, &sample);
-        let reunion = normalized_ipc(&SystemConfig::table1(ExecutionMode::Reunion), &w, &sample);
+        let strict = report
+            .get(w.name(), ExecutionMode::Strict, "base")
+            .and_then(|r| r.normalized())
+            .expect("strict record");
+        let reunion = report
+            .get(w.name(), ExecutionMode::Reunion, "base")
+            .and_then(|r| r.normalized())
+            .expect("reunion record");
         println!(
             "{:<12} {:<11} {:>9.3} {:>9.3} {:>12.1} {:>9.3}",
             w.name(),
             w.class().to_string(),
             strict.normalized_ipc,
             reunion.normalized_ipc,
-            reunion.model.incoherence_per_million(),
+            reunion.model.incoherence_per_million,
             reunion.baseline.ipc,
         );
-        strict_rows.push((w.class(), strict.normalized_ipc));
-        reunion_rows.push((w.class(), reunion.normalized_ipc));
     }
-    let (sc, ss) = commercial_scientific_averages(&strict_rows);
-    let (rc, rs) = commercial_scientific_averages(&reunion_rows);
+    let (sc, ss) =
+        commercial_scientific_averages(&report.normalized_rows(ExecutionMode::Strict, "base"));
+    let (rc, rs) =
+        commercial_scientific_averages(&report.normalized_rows(ExecutionMode::Reunion, "base"));
     println!("--------------------------------------------------------------");
     println!("average normalized IPC   commercial   scientific");
     println!("  strict                 {sc:>10.3} {ss:>12.3}   (paper: 0.95 / 0.98)");

@@ -1,26 +1,22 @@
 //! Figure 6: sensitivity of (a) Strict and (b) Reunion to the inter-core
 //! comparison latency (0–40 cycles), averaged per workload class.
 
-use reunion_bench::{banner, class_averages, sample_config, workloads};
-use reunion_core::{normalized_ipc, ExecutionMode, SystemConfig};
+use reunion_bench::{
+    banner, class_averages, latency_label, run_and_emit, sample_config, workloads,
+    SWEEP_LATENCIES,
+};
+use reunion_core::ExecutionMode;
+use reunion_sim::{ConfigPatch, ExperimentGrid, ExperimentReport};
 use reunion_workloads::WorkloadClass;
 
-fn panel(mode: ExecutionMode) {
-    let sample = sample_config();
+fn panel(report: &ExperimentReport, mode: ExecutionMode) {
     println!(
         "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "class", "lat=0", "lat=10", "lat=20", "lat=30", "lat=40"
     );
-    let latencies = [0u64, 10, 20, 30, 40];
     let mut per_class: Vec<Vec<f64>> = vec![Vec::new(); WorkloadClass::ALL.len()];
-    for &latency in &latencies {
-        let mut rows = Vec::new();
-        for w in workloads() {
-            let mut cfg = SystemConfig::table1(mode);
-            cfg.comparison_latency = latency;
-            let n = normalized_ipc(&cfg, &w, &sample);
-            rows.push((w.class(), n.normalized_ipc));
-        }
+    for &latency in &SWEEP_LATENCIES {
+        let rows = report.normalized_rows(mode, &latency_label(latency));
         for (i, (_, mean)) in class_averages(&rows).into_iter().enumerate() {
             per_class[i].push(mean);
         }
@@ -35,14 +31,30 @@ fn panel(mode: ExecutionMode) {
 }
 
 fn main() {
+    let grid = ExperimentGrid::builder(
+        "fig6",
+        "Strict and Reunion vs comparison latency (normalized IPC)",
+    )
+    .sample(sample_config())
+    .workloads(workloads())
+    .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
+    .patches(
+        SWEEP_LATENCIES
+            .iter()
+            .map(|&l| ConfigPatch::new(latency_label(l)).latency(l))
+            .collect(),
+    )
+    .build();
+    let report = run_and_emit(&grid);
+
     banner(
         "Figure 6(a)",
         "Strict input replication vs comparison latency (normalized IPC)",
     );
-    panel(ExecutionMode::Strict);
+    panel(&report, ExecutionMode::Strict);
     println!();
     banner("Figure 6(b)", "Reunion vs comparison latency (normalized IPC)");
-    panel(ExecutionMode::Reunion);
+    panel(&report, ExecutionMode::Reunion);
     println!();
     println!("(paper: both degrade roughly linearly; Strict ~1.0 at lat 0,");
     println!(" Reunion below 1.0 at lat 0 from loose coupling + contention;");

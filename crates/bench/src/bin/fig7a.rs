@@ -1,39 +1,52 @@
 //! Figure 7(a): Reunion performance under each phantom-request strength
 //! (10-cycle comparison latency), normalized to the non-redundant baseline.
 
-use reunion_bench::{banner, sample_config, workloads};
-use reunion_core::{normalized_ipc, ExecutionMode, SystemConfig};
+use reunion_bench::{banner, run_and_emit, sample_config, workloads};
+use reunion_core::ExecutionMode;
 use reunion_mem::PhantomStrength;
+use reunion_sim::{ConfigPatch, ExperimentGrid};
+
+const STRENGTHS: [PhantomStrength; 3] = [
+    PhantomStrength::Global,
+    PhantomStrength::Shared,
+    PhantomStrength::Null,
+];
 
 fn main() {
     banner(
         "Figure 7(a)",
         "Reunion normalized IPC per phantom strength (10-cycle latency)",
     );
-    let sample = sample_config();
+    let grid = ExperimentGrid::builder(
+        "fig7a",
+        "Reunion normalized IPC per phantom strength (10-cycle latency)",
+    )
+    .sample(sample_config())
+    .workloads(workloads())
+    .modes(&[ExecutionMode::Reunion])
+    .patches(
+        STRENGTHS
+            .iter()
+            .map(|&s| ConfigPatch::new(s.to_string()).phantom(s))
+            .collect(),
+    )
+    .build();
+    let report = run_and_emit(&grid);
+
     println!(
         "{:<12} {:>9} {:>9} {:>9}",
         "workload", "global", "shared", "null"
     );
     for w in workloads() {
-        let mut row = Vec::new();
-        for strength in [
-            PhantomStrength::Global,
-            PhantomStrength::Shared,
-            PhantomStrength::Null,
-        ] {
-            let mut cfg = SystemConfig::table1(ExecutionMode::Reunion);
-            cfg.phantom = strength;
-            let n = normalized_ipc(&cfg, &w, &sample);
-            row.push(n.normalized_ipc);
+        print!("{:<12}", w.name());
+        for strength in STRENGTHS {
+            let n = report
+                .get(w.name(), ExecutionMode::Reunion, &strength.to_string())
+                .and_then(|r| r.normalized_ipc())
+                .expect("record for every strength");
+            print!(" {n:>9.3}");
         }
-        println!(
-            "{:<12} {:>9.3} {:>9.3} {:>9.3}",
-            w.name(),
-            row[0],
-            row[1],
-            row[2]
-        );
+        println!();
     }
     println!("--------------------------------------------------------------");
     println!("(paper: global >> shared >> null; em3d collapses under shared");

@@ -1,37 +1,54 @@
 //! Figure 7(b): Reunion commercial-workload average with hardware-managed
 //! vs UltraSPARC III software-managed TLBs, across comparison latencies.
 
-use reunion_bench::{banner, sample_config, workloads};
-use reunion_core::{normalized_ipc, ExecutionMode, SystemConfig};
+use reunion_bench::{
+    banner, commercial_workloads, keyed_latency_label, run_and_emit, sample_config,
+    SWEEP_LATENCIES,
+};
+use reunion_core::ExecutionMode;
 use reunion_cpu::TlbMode;
+use reunion_sim::{ConfigPatch, ExperimentGrid};
+
+const TLBS: [(&str, &str, TlbMode); 2] = [
+    ("hw", "US III hardware TLB", TlbMode::Hardware { walk_latency: 30 }),
+    ("sw", "US III software TLB", TlbMode::Software),
+];
 
 fn main() {
     banner(
         "Figure 7(b)",
         "Commercial average: hardware vs software-managed TLB (Reunion)",
     );
-    let sample = sample_config();
-    let latencies = [0u64, 10, 20, 30, 40];
+    let mut patches = Vec::new();
+    for (key, _, tlb) in TLBS {
+        for &latency in &SWEEP_LATENCIES {
+            patches.push(ConfigPatch::new(keyed_latency_label(key, latency)).tlb(tlb).latency(latency));
+        }
+    }
+    let grid = ExperimentGrid::builder(
+        "fig7b",
+        "Commercial average: hardware vs software-managed TLB (Reunion)",
+    )
+    .sample(sample_config())
+    .workloads(commercial_workloads())
+    .modes(&[ExecutionMode::Reunion])
+    .patches(patches)
+    .build();
+    let report = run_and_emit(&grid);
+
     println!(
         "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "tlb model", "lat=0", "lat=10", "lat=20", "lat=30", "lat=40"
     );
-    for (label, tlb) in [
-        ("US III hardware TLB", TlbMode::Hardware { walk_latency: 30 }),
-        ("US III software TLB", TlbMode::Software),
-    ] {
+    for (key, label, _) in TLBS {
         print!("{label:<22}");
-        for &latency in &latencies {
-            let mut acc = 0.0;
-            let mut n = 0;
-            for w in workloads().into_iter().filter(|w| w.class().is_commercial()) {
-                let mut cfg = SystemConfig::table1(ExecutionMode::Reunion);
-                cfg.comparison_latency = latency;
-                cfg.tlb = tlb;
-                acc += normalized_ipc(&cfg, &w, &sample).normalized_ipc;
-                n += 1;
-            }
-            print!(" {:>8.3}", acc / n as f64);
+        for &latency in &SWEEP_LATENCIES {
+            let avg = report.mean_normalized_where(
+                ExecutionMode::Reunion,
+                &keyed_latency_label(key, latency),
+                |c| c.is_commercial(),
+            );
+            print!(" {avg:>8.3}");
         }
         println!();
     }

@@ -1,24 +1,46 @@
 //! §4.3 fingerprint-interval ablation: the paper finds the performance
 //! difference between intervals of 1 and 50 instructions insignificant.
 
-use reunion_bench::{banner, sample_config, workloads};
-use reunion_core::{normalized_ipc, ExecutionMode, SystemConfig};
+use reunion_bench::{banner, run_and_emit, sample_config, workloads};
+use reunion_core::ExecutionMode;
+use reunion_sim::{ConfigPatch, ExperimentGrid};
+
+const INTERVALS: [u32; 3] = [1, 5, 50];
+
+fn interval_label(interval: u32) -> String {
+    format!("ival={interval}")
+}
 
 fn main() {
     banner(
         "Fingerprint-interval ablation (§4.3)",
         "Reunion normalized IPC vs fingerprint interval (10-cycle latency)",
     );
-    let sample = sample_config();
-    let intervals = [1u32, 5, 50];
+    let grid = ExperimentGrid::builder(
+        "interval_ablation",
+        "Reunion normalized IPC vs fingerprint interval (10-cycle latency)",
+    )
+    .sample(sample_config())
+    .workloads(workloads())
+    .modes(&[ExecutionMode::Reunion])
+    .patches(
+        INTERVALS
+            .iter()
+            .map(|&i| ConfigPatch::new(interval_label(i)).fingerprint_interval(i))
+            .collect(),
+    )
+    .build();
+    let report = run_and_emit(&grid);
+
     println!("{:<12} {:>9} {:>9} {:>9}", "workload", "ival=1", "ival=5", "ival=50");
     for w in workloads() {
         print!("{:<12}", w.name());
-        for &interval in &intervals {
-            let mut cfg = SystemConfig::table1(ExecutionMode::Reunion);
-            cfg.fingerprint_interval = interval;
-            let n = normalized_ipc(&cfg, &w, &sample);
-            print!(" {:>9.3}", n.normalized_ipc);
+        for &interval in &INTERVALS {
+            let n = report
+                .get(w.name(), ExecutionMode::Reunion, &interval_label(interval))
+                .and_then(|r| r.normalized_ipc())
+                .expect("record for every interval");
+            print!(" {n:>9.3}");
         }
         println!();
     }

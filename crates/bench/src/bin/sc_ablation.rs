@@ -2,34 +2,56 @@
 //! store carries membar semantics and serializes retirement; the paper
 //! reports >60% average loss at a 40-cycle comparison latency.
 
-use reunion_bench::{banner, sample_config, workloads};
-use reunion_core::{normalized_ipc, ExecutionMode, SystemConfig};
+use reunion_bench::{
+    banner, commercial_workloads, keyed_latency_label, run_and_emit, sample_config,
+    SWEEP_LATENCIES,
+};
+use reunion_core::ExecutionMode;
 use reunion_cpu::Consistency;
+use reunion_sim::{ConfigPatch, ExperimentGrid};
+
+const MODELS: [(&str, &str, Consistency); 2] =
+    [("tso", "Sun TSO", Consistency::Tso), ("sc", "SC", Consistency::Sc)];
 
 fn main() {
     banner(
         "SC ablation (§5.5)",
         "Reunion commercial average under TSO vs sequential consistency",
     );
-    let sample = sample_config();
-    let latencies = [0u64, 10, 20, 30, 40];
+    let mut patches = Vec::new();
+    for (key, _, model) in MODELS {
+        for &latency in &SWEEP_LATENCIES {
+            patches.push(
+                ConfigPatch::new(keyed_latency_label(key, latency))
+                    .consistency(model)
+                    .latency(latency),
+            );
+        }
+    }
+    let grid = ExperimentGrid::builder(
+        "sc_ablation",
+        "Reunion commercial average under TSO vs sequential consistency",
+    )
+    .sample(sample_config())
+    .workloads(commercial_workloads())
+    .modes(&[ExecutionMode::Reunion])
+    .patches(patches)
+    .build();
+    let report = run_and_emit(&grid);
+
     println!(
         "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "consistency", "lat=0", "lat=10", "lat=20", "lat=30", "lat=40"
     );
-    for (label, model) in [("Sun TSO", Consistency::Tso), ("SC", Consistency::Sc)] {
+    for (key, label, _) in MODELS {
         print!("{label:<14}");
-        for &latency in &latencies {
-            let mut acc = 0.0;
-            let mut n = 0;
-            for w in workloads().into_iter().filter(|w| w.class().is_commercial()) {
-                let mut cfg = SystemConfig::table1(ExecutionMode::Reunion);
-                cfg.comparison_latency = latency;
-                cfg.consistency = model;
-                acc += normalized_ipc(&cfg, &w, &sample).normalized_ipc;
-                n += 1;
-            }
-            print!(" {:>8.3}", acc / n as f64);
+        for &latency in &SWEEP_LATENCIES {
+            let avg = report.mean_normalized_where(
+                ExecutionMode::Reunion,
+                &keyed_latency_label(key, latency),
+                |c| c.is_commercial(),
+            );
+            print!(" {avg:>8.3}");
         }
         println!();
     }

@@ -1,25 +1,35 @@
 //! Table 2: application parameters of the workload suite.
 
-use reunion_bench::{banner, workloads};
+use reunion_bench::{banner, run_and_emit, sample_config, workloads};
+use reunion_core::ExecutionMode;
+use reunion_sim::{ExperimentGrid, Metric};
 
 fn main() {
     banner("Table 2", "Application parameters (synthetic suite)");
+    let grid = ExperimentGrid::builder("table2", "Application parameters (synthetic suite)")
+        .metric(Metric::Static)
+        .sample(sample_config())
+        .workloads(workloads())
+        .modes(&[ExecutionMode::NonRedundant])
+        .build();
+    let report = run_and_emit(&grid);
+
     println!(
         "{:<12} {:<11} {:>9} {:>9} {:>6} {:>7} {:>9} {:>10}",
         "workload", "class", "priv(MB)", "shrd(MB)", "locks", "cs-len", "itlb/1M", "static-len"
     );
-    for w in workloads() {
-        let s = w.spec();
+    for r in report.rows(ExecutionMode::NonRedundant, "base") {
+        let s = r.statics().expect("static record");
         println!(
             "{:<12} {:<11} {:>9.1} {:>9.1} {:>6} {:>7} {:>9} {:>10}",
-            w.name(),
-            w.class().to_string(),
+            r.workload,
+            r.class.to_string(),
             s.private_bytes as f64 / (1 << 20) as f64,
             s.shared_bytes as f64 / (1 << 20) as f64,
             s.locks,
             s.critical_section_len,
             s.itlb_miss_per_million,
-            w.program(0).len(),
+            s.static_len,
         );
     }
 }

@@ -1,44 +1,57 @@
 //! Table 3: input-incoherence events per million instructions for each
 //! phantom-request strength, juxtaposed with TLB misses.
 
-use reunion_bench::{banner, sample_config, workloads};
-use reunion_core::{measure, ExecutionMode, SystemConfig};
+use reunion_bench::{banner, run_and_emit, sample_config, workloads};
+use reunion_core::ExecutionMode;
 use reunion_mem::PhantomStrength;
+use reunion_sim::{ConfigPatch, ExperimentGrid, Metric};
+
+const STRENGTHS: [PhantomStrength; 3] = [
+    PhantomStrength::Global,
+    PhantomStrength::Shared,
+    PhantomStrength::Null,
+];
 
 fn main() {
     banner(
         "Table 3",
         "Input incoherence per 1M instructions by phantom strength; TLB misses",
     );
-    let sample = sample_config();
+    let grid = ExperimentGrid::builder(
+        "table3",
+        "Input incoherence per 1M instructions by phantom strength; TLB misses",
+    )
+    .metric(Metric::Raw)
+    .sample(sample_config())
+    .workloads(workloads())
+    .modes(&[ExecutionMode::Reunion])
+    .patches(
+        STRENGTHS
+            .iter()
+            .map(|&s| ConfigPatch::new(s.to_string()).phantom(s))
+            .collect(),
+    )
+    .build();
+    let report = run_and_emit(&grid);
+
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10}",
         "workload", "global", "shared", "null", "tlb/1M"
     );
     for w in workloads() {
-        let mut row = Vec::new();
+        print!("{:<12}", w.name());
         let mut tlb = 0.0;
-        for strength in [
-            PhantomStrength::Global,
-            PhantomStrength::Shared,
-            PhantomStrength::Null,
-        ] {
-            let mut cfg = SystemConfig::table1(ExecutionMode::Reunion);
-            cfg.phantom = strength;
-            let m = measure(&cfg, &w, &sample);
-            row.push(m.incoherence_per_million());
+        for strength in STRENGTHS {
+            let m = report
+                .get(w.name(), ExecutionMode::Reunion, &strength.to_string())
+                .and_then(|r| r.raw())
+                .expect("record for every strength");
+            print!(" {:>10.1}", m.incoherence_per_million);
             if strength == PhantomStrength::Global {
-                tlb = m.tlb_misses_per_million();
+                tlb = m.tlb_misses_per_million;
             }
         }
-        println!(
-            "{:<12} {:>10.1} {:>10.1} {:>10.1} {:>10.0}",
-            w.name(),
-            row[0],
-            row[1],
-            row[2],
-            tlb
-        );
+        println!(" {tlb:>10.0}");
     }
     println!("--------------------------------------------------------------");
     println!("(paper: global 0.2-21 /1M — orders of magnitude below TLB misses;");

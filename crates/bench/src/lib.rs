@@ -1,22 +1,46 @@
 //! Shared harness for the experiment binaries.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure from the
-//! paper's evaluation; this library holds the common run/print machinery.
+//! paper's evaluation by declaring an [`ExperimentGrid`](reunion_sim::ExperimentGrid)
+//! and handing it to [`run_and_emit`]; the grid's cells execute in parallel
+//! through [`reunion_sim::Runner`] and the resulting report both drives the
+//! printed table and lands on disk as `BENCH_<id>.json`.
 //! Run e.g. `cargo run --release -p reunion-bench --bin fig5`.
 //!
-//! Set `REUNION_FAST=1` to use a shortened sampling profile for smoke runs.
+//! Environment knobs:
+//!
+//! * `REUNION_FAST=1` — shortened sampling profile for smoke runs,
+//! * `REUNION_SERIAL=1` — single-threaded execution (determinism checks),
+//! * `REUNION_THREADS=<n>` — cap the worker threads,
+//! * `REUNION_OUT_DIR=<dir>` — where `BENCH_<id>.json` is written.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use reunion_core::{ClassSummary, SampleConfig};
+use reunion_sim::{env_flag, ExperimentGrid, ExperimentReport, Runner};
 use reunion_workloads::{suite, Workload, WorkloadClass};
 
+/// The comparison latencies of the paper's sensitivity sweeps — the shared
+/// x-axis of Figure 6, Figure 7(b) and the SC ablation.
+pub const SWEEP_LATENCIES: [u64; 5] = [0, 10, 20, 30, 40];
+
+/// Canonical patch label for a latency sweep point (`"lat=10"`).
+pub fn latency_label(latency: u64) -> String {
+    format!("lat={latency}")
+}
+
+/// Canonical patch label for a two-axis sweep point (`"sw:lat=10"`), where
+/// `key` names the second axis value (TLB model, consistency model, …).
+pub fn keyed_latency_label(key: &str, latency: u64) -> String {
+    format!("{key}:lat={latency}")
+}
+
 /// The sampling profile used by all experiments: the paper's 100k-cycle
-/// warm-up and 50k-cycle windows, or a quick profile when `REUNION_FAST`
+/// warm-up and 50k-cycle windows, or a quick profile when `REUNION_FAST=1`
 /// is set.
 pub fn sample_config() -> SampleConfig {
-    if std::env::var("REUNION_FAST").is_ok() {
+    if env_flag("REUNION_FAST") {
         SampleConfig { warmup: 20_000, window: 20_000, windows: 2 }
     } else {
         SampleConfig { warmup: 100_000, window: 50_000, windows: 4 }
@@ -35,13 +59,34 @@ pub fn workloads() -> Vec<Workload> {
     suite()
 }
 
+/// The commercial (Web+OLTP+DSS) subset of the suite, in presentation
+/// order — the population of Figures 7(b) and the SC ablation.
+pub fn commercial_workloads() -> Vec<Workload> {
+    suite().into_iter().filter(|w| w.class().is_commercial()).collect()
+}
+
+/// Executes the grid with an environment-configured
+/// [`Runner`] and persists the report as `BENCH_<id>.json`.
+///
+/// This is the single entry point every experiment binary funnels through:
+/// no binary runs simulations in a hand-rolled loop.
+pub fn run_and_emit(grid: &ExperimentGrid) -> ExperimentReport {
+    let runner = Runner::from_env();
+    let report = runner.run(grid);
+    match report.write_json_default() {
+        Ok(path) => println!("[report: {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", report.id),
+    }
+    report
+}
+
 /// Averages `(class, value)` pairs per class, in presentation order.
 pub fn class_averages(rows: &[(WorkloadClass, f64)]) -> Vec<(WorkloadClass, f64)> {
     WorkloadClass::ALL
         .iter()
         .map(|&class| {
             let mut summary = ClassSummary::new();
-            for &(c, v) in rows.iter().filter(|(c, _)| *c == class) {
+            for &(_, v) in rows.iter().filter(|(c, _)| *c == class) {
                 summary.push(v);
             }
             (class, summary.mean())
@@ -91,5 +136,14 @@ mod tests {
         let (c, s) = commercial_scientific_averages(&rows);
         assert!((c - 0.8).abs() < 1e-12);
         assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commercial_subset_is_proper() {
+        let all = workloads().len();
+        let commercial = commercial_workloads();
+        assert!(!commercial.is_empty());
+        assert!(commercial.len() < all);
+        assert!(commercial.iter().all(|w| w.class().is_commercial()));
     }
 }

@@ -270,8 +270,8 @@ impl PairDriver {
         // protocol; Figure 4).
         self.vocal.drain_granted(now, mem);
         self.mute.drain_granted(now, mem);
-        self.vocal.rollback(now, mem);
-        self.mute.rollback(now, mem);
+        self.vocal.rollback(now);
+        self.mute.rollback(now);
         if phase == RecoveryPhase::Phase2 {
             // Definition 9 / Figure 4: initialize the mute ARF from the
             // vocal's safe state.
@@ -342,8 +342,8 @@ impl PairDriver {
         self.stats.failures.incr();
         self.vocal.drain_granted(now, mem);
         self.mute.drain_granted(now, mem);
-        self.vocal.rollback(now, mem);
-        self.mute.rollback(now, mem);
+        self.vocal.rollback(now);
+        self.mute.rollback(now);
         let safe = self.vocal.arch_state().clone();
         self.mute.copy_arch_state_from(&safe);
         self.vocal_events.clear();

@@ -368,10 +368,11 @@ impl Core {
     }
 
     /// Rolls the pipeline back to the retired (safe) state: flushes the ROB
-    /// and speculative store buffer, reverts speculatively-applied atomic
-    /// memory effects, squashes uncompared fingerprints, and restarts
-    /// interval numbering for the new recovery epoch.
-    pub fn rollback(&mut self, now: Cycle, mem: &mut MemorySystem) {
+    /// and speculative store buffer, squashes uncompared fingerprints, and
+    /// restarts interval numbering for the new recovery epoch. Memory needs
+    /// no repair: atomics commit their write only at retirement, so nothing
+    /// speculative ever reached the coherent image.
+    pub fn rollback(&mut self, now: Cycle) {
         // Unretired atomics never committed their memory write (the commit
         // happens at retirement), so flushing the ROB discards them fully.
         self.rob.clear();
@@ -972,7 +973,7 @@ mod tests {
         }
         let retired_r1 = core.arch_state().regs.read(r(1));
         let epoch_before = core.epoch();
-        core.rollback(Cycle::new(100), &mut mem);
+        core.rollback(Cycle::new(100));
         assert_eq!(core.epoch(), epoch_before + 1);
         assert_eq!(core.arch_state().regs.read(r(1)), retired_r1);
         // Continue executing after rollback.
@@ -1014,7 +1015,7 @@ mod tests {
         // The atomic dispatched but cannot retire ungranted: its memory
         // write must not be visible (Definition 7).
         assert_eq!(mem.peek_coherent(Addr::new(0xB00)), 0);
-        core.rollback(Cycle::new(500), &mut mem);
+        core.rollback(Cycle::new(500));
         assert_eq!(mem.peek_coherent(Addr::new(0xB00)), 0);
         // Once granted and retired, the commit lands.
         for c in 501..1200 {
@@ -1067,8 +1068,7 @@ mod tests {
         let program = Arc::new(Program::new("tlb", code).unwrap());
         let mut mem = MemorySystem::new(MemConfig::small());
         let l1 = mem.register_l1(Owner::vocal(0));
-        let mut cfg = CoreConfig::default();
-        cfg.tlb = TlbMode::Software;
+        let cfg = CoreConfig { tlb: TlbMode::Software, ..CoreConfig::default() };
         let mut core = Core::new(cfg, program, l1, 7);
         for c in 0..5000 {
             core.tick(Cycle::new(c), &mut mem);
@@ -1111,8 +1111,7 @@ mod tests {
         let program = Arc::new(Program::new("sc", code).unwrap());
         let mut mem = MemorySystem::new(MemConfig::small());
         let l1 = mem.register_l1(Owner::vocal(0));
-        let mut cfg = CoreConfig::default();
-        cfg.consistency = crate::Consistency::Sc;
+        let cfg = CoreConfig { consistency: crate::Consistency::Sc, ..CoreConfig::default() };
         let mut core = Core::new(cfg, program, l1, 7);
         for c in 0..2000 {
             core.tick(Cycle::new(c), &mut mem);

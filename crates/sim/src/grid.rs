@@ -1,0 +1,274 @@
+//! Declarative experiment grids.
+
+use reunion_core::{ExecutionMode, SampleConfig, SystemConfig};
+use reunion_workloads::Workload;
+
+use crate::ConfigPatch;
+
+/// What each grid cell measures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Metric {
+    /// Matched-pair IPC normalized against the non-redundant baseline
+    /// (two systems per cell; Figures 5–7).
+    #[default]
+    Normalized,
+    /// A single-system measurement without a baseline (Table 3).
+    Raw,
+    /// Static workload parameters only — no simulation (Table 2).
+    Static,
+}
+
+/// One point of the experiment grid: workload × mode × patch.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Position in the grid's deterministic enumeration order.
+    pub index: usize,
+    /// The workload to run.
+    pub workload: Workload,
+    /// The execution mode of the measured system.
+    pub mode: ExecutionMode,
+    /// Configuration overrides on top of the grid's base configuration.
+    pub patch: ConfigPatch,
+}
+
+/// A declarative description of one experiment: the full cartesian product
+/// of workloads × execution modes × configuration patches, plus how to
+/// measure each cell.
+///
+/// Grids are *data*; execution happens in [`crate::Runner`], which may
+/// evaluate cells on many OS threads. Cell enumeration order (workload-major,
+/// then mode, then patch) is part of the grid's contract: reports list
+/// records in exactly this order regardless of execution schedule.
+///
+/// # Examples
+///
+/// ```
+/// use reunion_core::{ExecutionMode, SampleConfig, SystemConfig};
+/// use reunion_sim::{ConfigPatch, ExperimentGrid};
+/// use reunion_workloads::Workload;
+///
+/// let grid = ExperimentGrid::builder("demo", "latency sweep")
+///     .base(SystemConfig::small_test)
+///     .sample(SampleConfig::quick())
+///     .workloads(vec![Workload::by_name("sparse").unwrap()])
+///     .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
+///     .patches([0u64, 10].iter().map(|&l| ConfigPatch::new(format!("lat={l}")).latency(l)).collect())
+///     .build();
+/// assert_eq!(grid.cells().len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExperimentGrid {
+    id: String,
+    caption: String,
+    metric: Metric,
+    sample: SampleConfig,
+    base: fn(ExecutionMode) -> SystemConfig,
+    cells: Vec<Cell>,
+}
+
+impl ExperimentGrid {
+    /// Starts building a grid; `id` names the JSON artifact
+    /// (`BENCH_<id>.json`), `caption` is the human-readable title.
+    pub fn builder(id: impl Into<String>, caption: impl Into<String>) -> GridBuilder {
+        GridBuilder {
+            id: id.into(),
+            caption: caption.into(),
+            metric: Metric::default(),
+            sample: SampleConfig::default(),
+            base: SystemConfig::table1,
+            workloads: Vec::new(),
+            modes: vec![ExecutionMode::Reunion],
+            patches: vec![ConfigPatch::baseline()],
+        }
+    }
+
+    /// The grid's identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The human-readable caption.
+    pub fn caption(&self) -> &str {
+        &self.caption
+    }
+
+    /// What each cell measures.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The sampling profile shared by every cell.
+    pub fn sample(&self) -> &SampleConfig {
+        &self.sample
+    }
+
+    /// The base configuration constructor (patches apply on top of this).
+    pub fn base(&self) -> fn(ExecutionMode) -> SystemConfig {
+        self.base
+    }
+
+    /// All cells in deterministic enumeration order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The fully-patched configuration for one cell.
+    pub fn cell_config(&self, cell: &Cell) -> SystemConfig {
+        let mut cfg = (self.base)(cell.mode);
+        cell.patch.apply(&mut cfg);
+        cfg
+    }
+}
+
+/// Builder for [`ExperimentGrid`].
+#[derive(Clone, Debug)]
+pub struct GridBuilder {
+    id: String,
+    caption: String,
+    metric: Metric,
+    sample: SampleConfig,
+    base: fn(ExecutionMode) -> SystemConfig,
+    workloads: Vec<Workload>,
+    modes: Vec<ExecutionMode>,
+    patches: Vec<ConfigPatch>,
+}
+
+impl GridBuilder {
+    /// Sets what each cell measures (default: [`Metric::Normalized`]).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the sampling profile (default: the paper's profile).
+    pub fn sample(mut self, sample: SampleConfig) -> Self {
+        self.sample = sample;
+        self
+    }
+
+    /// Sets the base configuration constructor (default:
+    /// [`SystemConfig::table1`]).
+    pub fn base(mut self, base: fn(ExecutionMode) -> SystemConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the workload axis.
+    pub fn workloads(mut self, workloads: Vec<Workload>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Sets the execution-mode axis (default: `[Reunion]`).
+    pub fn modes(mut self, modes: &[ExecutionMode]) -> Self {
+        self.modes = modes.to_vec();
+        self
+    }
+
+    /// Sets the patch axis (default: the single [`ConfigPatch::baseline`]).
+    pub fn patches(mut self, patches: Vec<ConfigPatch>) -> Self {
+        self.patches = patches;
+        self
+    }
+
+    /// Materializes the cartesian product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty or two patches share a label (labels are
+    /// the lookup key within a report).
+    pub fn build(self) -> ExperimentGrid {
+        assert!(!self.workloads.is_empty(), "grid {:?} has no workloads", self.id);
+        assert!(!self.modes.is_empty(), "grid {:?} has no modes", self.id);
+        assert!(!self.patches.is_empty(), "grid {:?} has no patches", self.id);
+        for (i, a) in self.patches.iter().enumerate() {
+            for b in &self.patches[..i] {
+                assert!(
+                    a.label() != b.label(),
+                    "grid {:?}: duplicate patch label {:?}",
+                    self.id,
+                    a.label()
+                );
+            }
+        }
+        let mut cells = Vec::with_capacity(
+            self.workloads.len() * self.modes.len() * self.patches.len(),
+        );
+        for workload in &self.workloads {
+            for &mode in &self.modes {
+                for patch in &self.patches {
+                    cells.push(Cell {
+                        index: cells.len(),
+                        workload: workload.clone(),
+                        mode,
+                        patch: patch.clone(),
+                    });
+                }
+            }
+        }
+        ExperimentGrid {
+            id: self.id,
+            caption: self.caption,
+            metric: self.metric,
+            sample: self.sample,
+            base: self.base,
+            cells,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_workloads() -> Vec<Workload> {
+        vec![
+            Workload::by_name("sparse").unwrap(),
+            Workload::by_name("moldyn").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn cells_enumerate_workload_major() {
+        let grid = ExperimentGrid::builder("t", "t")
+            .workloads(two_workloads())
+            .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
+            .patches(vec![ConfigPatch::new("a"), ConfigPatch::new("b")])
+            .build();
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].workload.name(), "sparse");
+        assert_eq!(cells[0].mode, ExecutionMode::Strict);
+        assert_eq!(cells[0].patch.label(), "a");
+        assert_eq!(cells[1].patch.label(), "b");
+        assert_eq!(cells[2].mode, ExecutionMode::Reunion);
+        assert_eq!(cells[4].workload.name(), "moldyn");
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn cell_config_applies_mode_and_patch() {
+        let grid = ExperimentGrid::builder("t", "t")
+            .base(SystemConfig::small_test)
+            .workloads(two_workloads())
+            .modes(&[ExecutionMode::Reunion])
+            .patches(vec![ConfigPatch::new("lat=33").latency(33)])
+            .build();
+        let cfg = grid.cell_config(&grid.cells()[0]);
+        assert_eq!(cfg.mode, ExecutionMode::Reunion);
+        assert_eq!(cfg.comparison_latency, 33);
+        // Everything else is small_test.
+        assert_eq!(cfg.logical_processors, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate patch label")]
+    fn duplicate_patch_labels_rejected() {
+        ExperimentGrid::builder("t", "t")
+            .workloads(two_workloads())
+            .patches(vec![ConfigPatch::new("x"), ConfigPatch::new("x").latency(1)])
+            .build();
+    }
+}

@@ -1,0 +1,207 @@
+//! A minimal, dependency-free JSON emitter.
+//!
+//! The build container has no network access, so `serde_json` is not
+//! available; the report serializer only needs to *write* JSON, and only a
+//! small subset: objects, arrays, strings, integers and floats. Output is
+//! deterministic (insertion order, fixed indentation, shortest round-trip
+//! float formatting), which the parallel-vs-serial determinism guard in
+//! [`crate::runner`] relies on.
+
+use std::fmt::Write as _;
+
+/// Streaming JSON writer with two-space pretty printing.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once it has a first element.
+    stack: Vec<bool>,
+    /// Set between `key()` and the value that follows it.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the serialized document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if containers are still open (serializer bug, not input data).
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unbalanced JSON containers");
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Positions the cursor for the next element (comma/indent bookkeeping).
+    fn element(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.out.push(',');
+            }
+            *has_elems = true;
+            self.newline_indent();
+        }
+    }
+
+    fn close(&mut self, delim: char, was_empty: bool) {
+        self.stack.pop().expect("close without open");
+        if !was_empty {
+            self.newline_indent();
+        }
+        self.out.push(delim);
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.element();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        let was_empty = !self.stack.last().copied().unwrap_or(false);
+        self.close('}', was_empty);
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.element();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        let was_empty = !self.stack.last().copied().unwrap_or(false);
+        self.close(']', was_empty);
+    }
+
+    /// Writes an object key; the next write is its value.
+    pub fn key(&mut self, k: &str) {
+        self.element();
+        self.write_escaped(k);
+        self.out.push_str(": ");
+        self.pending_key = true;
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, v: &str) {
+        self.element();
+        self.write_escaped(v);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.element();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a float value; non-finite values serialize as `null`.
+    pub fn f64(&mut self, v: f64) {
+        self.element();
+        if v.is_finite() {
+            // Shortest round-trip representation; deterministic for a given
+            // bit pattern, which the serial-vs-parallel guard depends on.
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Convenience: `"k": "v"`.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// Convenience: `"k": 42`.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64(v);
+    }
+
+    /// Convenience: `"k": 0.5`.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64(v);
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("id", "fig5");
+        w.key("records");
+        w.begin_array();
+        w.begin_object();
+        w.field_f64("ipc", 1.5);
+        w.field_u64("cycles", 42);
+        w.end_object();
+        w.end_array();
+        w.key("empty");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "{\n  \"id\": \"fig5\",\n  \"records\": [\n    {\n      \"ipc\": 1.5,\n      \"cycles\": 42\n    }\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(f64::NAN);
+        w.f64(f64::INFINITY);
+        w.f64(0.25);
+        w.end_array();
+        assert_eq!(w.finish(), "[\n  null,\n  null,\n  0.25\n]");
+    }
+}

@@ -1,0 +1,68 @@
+//! Experiment-runner subsystem: declarative grids, parallel execution,
+//! structured reports.
+//!
+//! The paper's evaluation is a pile of cartesian products — every figure
+//! and table sweeps (workload × execution mode × one or two configuration
+//! knobs) and aggregates the results. This crate factors that shape out of
+//! the individual experiment binaries:
+//!
+//! * [`ExperimentGrid`] — a *declarative* description of one experiment:
+//!   the workload/mode/patch axes, the base [`SystemConfig`] they override,
+//!   the sampling profile, and what to measure per cell ([`Metric`]).
+//! * [`ConfigPatch`] — a labeled sparse override (comparison latency,
+//!   phantom strength, TLB model, consistency, fingerprint interval, …).
+//! * [`Runner`] — executes cells across OS threads. Each cell simulates an
+//!   independent, fully-seeded `CmpSystem` (or matched pair), so execution
+//!   order cannot affect results; `REUNION_SERIAL=1` forces the
+//!   single-threaded fallback and `REUNION_THREADS=<n>` caps the workers.
+//! * [`ExperimentReport`] / [`RunRecord`] — results in grid enumeration
+//!   order with lookup and aggregation helpers, plus a deterministic JSON
+//!   serializer; [`ExperimentReport::write_json_default`] emits the
+//!   `BENCH_<id>.json` trajectory artifact the benchmarks are tracked by.
+//!
+//! Determinism is a hard invariant: a parallel run and a serial run of the
+//! same grid produce **byte-identical** JSON (guarded by tests in
+//! [`runner`](crate::Runner)). This is what makes the N-core speed-up free:
+//! nothing about scheduling leaks into results.
+//!
+//! # Examples
+//!
+//! ```
+//! use reunion_core::{ExecutionMode, SampleConfig, SystemConfig};
+//! use reunion_sim::{ConfigPatch, ExperimentGrid, Runner};
+//! use reunion_workloads::Workload;
+//!
+//! // Figure-6-shaped sweep, shrunk to doc-test scale.
+//! let grid = ExperimentGrid::builder("doc", "latency sweep")
+//!     .base(SystemConfig::small_test)
+//!     .sample(SampleConfig::quick())
+//!     .workloads(vec![Workload::by_name("sparse").unwrap()])
+//!     .modes(&[ExecutionMode::Reunion])
+//!     .patches(vec![
+//!         ConfigPatch::new("lat=0").latency(0),
+//!         ConfigPatch::new("lat=40").latency(40),
+//!     ])
+//!     .build();
+//! let report = Runner::from_env().run(&grid);
+//! let fast = report.get("sparse", ExecutionMode::Reunion, "lat=0").unwrap();
+//! assert!(fast.normalized_ipc().unwrap() > 0.0);
+//! ```
+//!
+//! [`SystemConfig`]: reunion_core::SystemConfig
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod json;
+mod patch;
+mod report;
+mod runner;
+
+pub use grid::{Cell, ExperimentGrid, GridBuilder, Metric};
+pub use json::JsonWriter;
+pub use patch::ConfigPatch;
+pub use report::{
+    ExperimentReport, MeasureSummary, NormalizedSummary, Outcome, RunRecord, StaticSummary,
+};
+pub use runner::{env_flag, Runner};

@@ -1,0 +1,416 @@
+//! Structured experiment results and their JSON serialization.
+
+use std::io;
+use std::path::PathBuf;
+
+use reunion_core::{ExecutionMode, Measurement, NormalizedResult, SampleConfig};
+use reunion_workloads::{Workload, WorkloadClass};
+
+use crate::json::JsonWriter;
+
+/// Flattened single-system measurement (one side of a matched pair).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasureSummary {
+    /// Mean user IPC over measurement windows.
+    pub ipc: f64,
+    /// Half-width of the 95% confidence interval on the IPC.
+    pub ipc_ci95: f64,
+    /// Retired user instructions over all windows.
+    pub user_instructions: u64,
+    /// Simulated cycles over all windows.
+    pub cycles: u64,
+    /// Fingerprint mismatches (input incoherence + injected errors).
+    pub mismatches: u64,
+    /// Recovery protocol invocations.
+    pub recoveries: u64,
+    /// Phase-two (architectural register copy) recoveries.
+    pub phase2: u64,
+    /// Unrecoverable failures.
+    pub failures: u64,
+    /// Synchronizing requests issued.
+    pub sync_requests: u64,
+    /// TLB misses.
+    pub tlb_misses: u64,
+    /// Phantom fills that returned garbage data.
+    pub phantom_garbage_fills: u64,
+    /// Input-incoherence events per million user instructions (Table 3).
+    pub incoherence_per_million: f64,
+    /// TLB misses per million user instructions (Table 3).
+    pub tlb_misses_per_million: f64,
+}
+
+impl From<&Measurement> for MeasureSummary {
+    fn from(m: &Measurement) -> Self {
+        MeasureSummary {
+            ipc: m.ipc,
+            ipc_ci95: m.ipc_ci95,
+            user_instructions: m.totals.user_instructions,
+            cycles: m.totals.cycles,
+            mismatches: m.totals.mismatches,
+            recoveries: m.totals.recoveries,
+            phase2: m.totals.phase2,
+            failures: m.totals.failures,
+            sync_requests: m.totals.sync_requests,
+            tlb_misses: m.totals.tlb_misses,
+            phantom_garbage_fills: m.totals.phantom_garbage_fills,
+            incoherence_per_million: m.incoherence_per_million(),
+            tlb_misses_per_million: m.tlb_misses_per_million(),
+        }
+    }
+}
+
+impl MeasureSummary {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_f64("ipc", self.ipc);
+        w.field_f64("ipc_ci95", self.ipc_ci95);
+        w.field_u64("user_instructions", self.user_instructions);
+        w.field_u64("cycles", self.cycles);
+        w.field_u64("mismatches", self.mismatches);
+        w.field_u64("recoveries", self.recoveries);
+        w.field_u64("phase2", self.phase2);
+        w.field_u64("failures", self.failures);
+        w.field_u64("sync_requests", self.sync_requests);
+        w.field_u64("tlb_misses", self.tlb_misses);
+        w.field_u64("phantom_garbage_fills", self.phantom_garbage_fills);
+        w.field_f64("incoherence_per_million", self.incoherence_per_million);
+        w.field_f64("tlb_misses_per_million", self.tlb_misses_per_million);
+        w.end_object();
+    }
+}
+
+/// Matched-pair result: the model system and its non-redundant baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NormalizedSummary {
+    /// Mean of per-window IPC ratios.
+    pub normalized_ipc: f64,
+    /// Half-width of the 95% confidence interval on the ratio.
+    pub ci95: f64,
+    /// The measured model system.
+    pub model: MeasureSummary,
+    /// The matching non-redundant baseline.
+    pub baseline: MeasureSummary,
+}
+
+impl From<&NormalizedResult> for NormalizedSummary {
+    fn from(n: &NormalizedResult) -> Self {
+        NormalizedSummary {
+            normalized_ipc: n.normalized_ipc,
+            ci95: n.ci95,
+            model: MeasureSummary::from(&n.model),
+            baseline: MeasureSummary::from(&n.baseline),
+        }
+    }
+}
+
+/// Static workload parameters (Table 2) — no simulation involved.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StaticSummary {
+    /// Per-thread private data footprint in bytes.
+    pub private_bytes: u64,
+    /// Shared data footprint in bytes.
+    pub shared_bytes: u64,
+    /// Number of spin locks.
+    pub locks: u64,
+    /// Instructions per critical section body.
+    pub critical_section_len: u64,
+    /// Synthetic ITLB miss rate per million fetched instructions.
+    pub itlb_miss_per_million: u64,
+    /// Static length of the generated program for thread 0.
+    pub static_len: u64,
+}
+
+impl StaticSummary {
+    /// Computes the Table 2 row for one workload.
+    pub fn of(workload: &Workload) -> Self {
+        let s = workload.spec();
+        StaticSummary {
+            private_bytes: s.private_bytes,
+            shared_bytes: s.shared_bytes,
+            locks: s.locks,
+            critical_section_len: s.critical_section_len as u64,
+            itlb_miss_per_million: s.itlb_miss_per_million,
+            static_len: workload.program(0).len() as u64,
+        }
+    }
+}
+
+/// What one grid cell produced, by [`crate::Metric`] kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Matched-pair normalized measurement.
+    Normalized(NormalizedSummary),
+    /// Single-system raw measurement.
+    Raw(MeasureSummary),
+    /// Static workload parameters.
+    Static(StaticSummary),
+}
+
+/// The result of one grid cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// Execution mode of the measured system.
+    pub mode: ExecutionMode,
+    /// Patch label identifying the configuration point.
+    pub patch: String,
+    /// The measurement itself.
+    pub outcome: Outcome,
+}
+
+impl RunRecord {
+    /// The matched-pair summary, if this cell measured one.
+    pub fn normalized(&self) -> Option<&NormalizedSummary> {
+        match &self.outcome {
+            Outcome::Normalized(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Shorthand for the normalized IPC value.
+    pub fn normalized_ipc(&self) -> Option<f64> {
+        self.normalized().map(|n| n.normalized_ipc)
+    }
+
+    /// The raw measurement, if this cell measured one.
+    pub fn raw(&self) -> Option<&MeasureSummary> {
+        match &self.outcome {
+            Outcome::Raw(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The static parameters, if this cell computed them.
+    pub fn statics(&self) -> Option<&StaticSummary> {
+        match &self.outcome {
+            Outcome::Static(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("workload", &self.workload);
+        w.field_str("class", &self.class.to_string());
+        w.field_str("mode", &self.mode.to_string());
+        w.field_str("patch", &self.patch);
+        match &self.outcome {
+            Outcome::Normalized(n) => {
+                w.field_f64("normalized_ipc", n.normalized_ipc);
+                w.field_f64("ci95", n.ci95);
+                w.key("model");
+                n.model.write_json(w);
+                w.key("baseline");
+                n.baseline.write_json(w);
+            }
+            Outcome::Raw(m) => {
+                w.key("measurement");
+                m.write_json(w);
+            }
+            Outcome::Static(s) => {
+                w.field_u64("private_bytes", s.private_bytes);
+                w.field_u64("shared_bytes", s.shared_bytes);
+                w.field_u64("locks", s.locks);
+                w.field_u64("critical_section_len", s.critical_section_len);
+                w.field_u64("itlb_miss_per_million", s.itlb_miss_per_million);
+                w.field_u64("static_len", s.static_len);
+            }
+        }
+        w.end_object();
+    }
+}
+
+/// All records of one experiment, in grid enumeration order.
+///
+/// The report is the *only* artifact of a run: the experiment binaries
+/// print their tables from it, and [`write_json_default`]
+/// (`BENCH_<id>.json`) persists it as the performance trajectory future
+/// changes are compared against. Serialization is deterministic, so a
+/// parallel and a serial run of the same grid produce byte-identical files.
+///
+/// [`write_json_default`]: ExperimentReport::write_json_default
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentReport {
+    /// Grid identifier (`BENCH_<id>.json`).
+    pub id: String,
+    /// Human-readable caption.
+    pub caption: String,
+    /// Sampling profile every cell used.
+    pub sample: SampleConfig,
+    /// One record per grid cell, in grid enumeration order.
+    pub records: Vec<RunRecord>,
+}
+
+impl ExperimentReport {
+    /// Looks up the record for one (workload, mode, patch-label) cell.
+    pub fn get(&self, workload: &str, mode: ExecutionMode, patch: &str) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .find(|r| r.workload == workload && r.mode == mode && r.patch == patch)
+    }
+
+    /// All records for one (mode, patch-label) slice, in workload order.
+    pub fn rows<'a>(
+        &'a self,
+        mode: ExecutionMode,
+        patch: &'a str,
+    ) -> impl Iterator<Item = &'a RunRecord> + 'a {
+        self.records
+            .iter()
+            .filter(move |r| r.mode == mode && r.patch == patch)
+    }
+
+    /// `(class, normalized IPC)` pairs for one (mode, patch) slice —
+    /// the input shape of the class-average helpers in `reunion-bench`.
+    pub fn normalized_rows(&self, mode: ExecutionMode, patch: &str) -> Vec<(WorkloadClass, f64)> {
+        self.rows(mode, patch)
+            .filter_map(|r| r.normalized_ipc().map(|v| (r.class, v)))
+            .collect()
+    }
+
+    /// Mean normalized IPC over the (mode, patch) slice, restricted to
+    /// classes accepted by `keep`.
+    pub fn mean_normalized_where(
+        &self,
+        mode: ExecutionMode,
+        patch: &str,
+        keep: impl Fn(WorkloadClass) -> bool,
+    ) -> f64 {
+        let vals: Vec<f64> = self
+            .normalized_rows(mode, patch)
+            .into_iter()
+            .filter(|(c, _)| keep(*c))
+            .map(|(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Serializes the report as deterministic pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("id", &self.id);
+        w.field_str("caption", &self.caption);
+        w.key("sample");
+        w.begin_object();
+        w.field_u64("warmup", self.sample.warmup);
+        w.field_u64("window", self.sample.window);
+        w.field_u64("windows", self.sample.windows as u64);
+        w.end_object();
+        w.key("records");
+        w.begin_array();
+        for r in &self.records {
+            r.write_json(&mut w);
+        }
+        w.end_array();
+        w.end_object();
+        let mut s = w.finish();
+        s.push('\n');
+        s
+    }
+
+    /// Writes `BENCH_<id>.json` under `$REUNION_OUT_DIR` (default: the
+    /// current directory) and returns the path.
+    pub fn write_json_default(&self) -> io::Result<PathBuf> {
+        let dir = std::env::var_os("REUNION_OUT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let path = dir.join(format!("BENCH_{}.json", self.id));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(workload: &str, mode: ExecutionMode, patch: &str, ipc: f64) -> RunRecord {
+        RunRecord {
+            workload: workload.into(),
+            class: if workload == "sparse" {
+                WorkloadClass::Scientific
+            } else {
+                WorkloadClass::Oltp
+            },
+            mode,
+            patch: patch.into(),
+            outcome: Outcome::Normalized(NormalizedSummary {
+                normalized_ipc: ipc,
+                ci95: 0.0,
+                model: blank_measure(ipc),
+                baseline: blank_measure(1.0),
+            }),
+        }
+    }
+
+    fn blank_measure(ipc: f64) -> MeasureSummary {
+        MeasureSummary {
+            ipc,
+            ipc_ci95: 0.0,
+            user_instructions: 0,
+            cycles: 0,
+            mismatches: 0,
+            recoveries: 0,
+            phase2: 0,
+            failures: 0,
+            sync_requests: 0,
+            tlb_misses: 0,
+            phantom_garbage_fills: 0,
+            incoherence_per_million: 0.0,
+            tlb_misses_per_million: 0.0,
+        }
+    }
+
+    fn report() -> ExperimentReport {
+        ExperimentReport {
+            id: "t".into(),
+            caption: "t".into(),
+            sample: SampleConfig::quick(),
+            records: vec![
+                sample_record("db2", ExecutionMode::Reunion, "base", 0.9),
+                sample_record("sparse", ExecutionMode::Reunion, "base", 0.7),
+                sample_record("db2", ExecutionMode::Strict, "base", 0.95),
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_by_cell_key() {
+        let r = report();
+        assert_eq!(
+            r.get("db2", ExecutionMode::Strict, "base").unwrap().normalized_ipc(),
+            Some(0.95)
+        );
+        assert!(r.get("db2", ExecutionMode::NonRedundant, "base").is_none());
+        assert_eq!(r.rows(ExecutionMode::Reunion, "base").count(), 2);
+    }
+
+    #[test]
+    fn class_filtered_mean() {
+        let r = report();
+        let commercial =
+            r.mean_normalized_where(ExecutionMode::Reunion, "base", |c| c.is_commercial());
+        assert!((commercial - 0.9).abs() < 1e-12);
+        let all = r.mean_normalized_where(ExecutionMode::Reunion, "base", |_| true);
+        assert!((all - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_stable_and_contains_records() {
+        let r = report();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"normalized_ipc\": 0.9"));
+        assert!(a.contains("\"mode\": \"strict\""));
+        assert!(a.ends_with("}\n"));
+    }
+}

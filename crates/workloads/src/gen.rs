@@ -74,7 +74,7 @@ pub fn generate_program(spec: &WorkloadSpec, thread: usize) -> Program {
     b.push(I::load_imm(r(4), (thread as i64 * 0x2218) & priv_mask & !7));
     b.push(I::load_imm(r(5), (thread as i64 * 0xA6E8) & shared_mask & !7));
     // Pointer-chase cursor starts at a thread-dependent ring position.
-    let chase_start = SHARED_BASE + ((thread as u64 * 100_003) * 64 & (spec.shared_bytes - 1));
+    let chase_start = SHARED_BASE + (((thread as u64 * 100_003) * 64) & (spec.shared_bytes - 1));
     b.push(I::load_imm(r(20), chase_start as i64));
     b.push(I::load_imm(r(21), thread as i64));
     // Thread-affine lock bank. The globally shared bank is 16x larger than
@@ -97,7 +97,7 @@ pub fn generate_program(spec: &WorkloadSpec, thread: usize) -> Program {
         (SHARED_BASE + 31 * slice_bytes) as i64,
     ));
     for i in 10..20 {
-        b.push(I::load_imm(r(i), (i as i64) * 0x1234_5 + 7));
+        b.push(I::load_imm(r(i), (i as i64) * 0x1_2345 + 7));
     }
 
     let loop_start = b.here();

@@ -1,171 +1,215 @@
-//! Property-based tests of core invariants (proptest).
-
-use proptest::prelude::*;
+//! Property-based tests of core invariants.
+//!
+//! The container building this repo has no network access, so instead of
+//! `proptest` these use a small deterministic case generator driven by the
+//! kernel's own seeded [`SimRng`]: every property is checked against a few
+//! hundred pseudo-random cases and the stream is reproducible by seed.
 
 use reunion_fingerprint::{Crc, FingerprintUnit, ParityTree, UpdateRecord};
-use reunion_isa::{
-    alu_compute, atomic_update, AluOp, Addr, AtomicOp, DataMemory, SparseMemory,
-};
+use reunion_isa::{alu_compute, atomic_update, Addr, AluOp, AtomicOp, DataMemory, SparseMemory};
 use reunion_kernel::{Cycle, SimRng};
 use reunion_mem::{CacheArray, MemConfig, MemorySystem, Owner, PhantomStrength};
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Xor),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::Mul),
-    ]
+const CASES: usize = 256;
+
+/// Runs `body` against `CASES` deterministic pseudo-random cases.
+fn for_cases(seed: u64, mut body: impl FnMut(&mut SimRng)) {
+    let mut rng = SimRng::seed_from(seed);
+    for _ in 0..CASES {
+        body(&mut rng);
+    }
 }
 
-proptest! {
-    /// ALU semantics are total and deterministic.
-    #[test]
-    fn alu_is_deterministic(op in arb_alu_op(), a: u64, b: u64) {
-        prop_assert_eq!(alu_compute(op, a, b), alu_compute(op, a, b));
-    }
+fn arb_alu_op(rng: &mut SimRng) -> AluOp {
+    const OPS: [AluOp; 8] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Mul,
+    ];
+    OPS[(rng.next_u64() % OPS.len() as u64) as usize]
+}
 
-    /// Swap then swap-back restores memory through atomic_update.
-    #[test]
-    fn swap_round_trips(old: u64, new: u64) {
+/// ALU semantics are total and deterministic.
+#[test]
+fn alu_is_deterministic() {
+    for_cases(0xA1_0001, |rng| {
+        let op = arb_alu_op(rng);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_eq!(alu_compute(op, a, b), alu_compute(op, a, b));
+    });
+}
+
+/// Swap then swap-back restores memory through atomic_update.
+#[test]
+fn swap_round_trips() {
+    for_cases(0xA1_0002, |rng| {
+        let old = rng.next_u64();
+        let new = rng.next_u64();
         let once = atomic_update(AtomicOp::Swap, old, new);
-        prop_assert_eq!(once, new);
-        prop_assert_eq!(atomic_update(AtomicOp::Swap, once, old), old);
-    }
+        assert_eq!(once, new);
+        assert_eq!(atomic_update(AtomicOp::Swap, once, old), old);
+    });
+}
 
-    /// Memory image: the last write to a word wins, regardless of order of
-    /// writes to other words.
-    #[test]
-    fn sparse_memory_last_write_wins(
-        writes in prop::collection::vec((0u64..0x1000, any::<u64>()), 1..64)
-    ) {
+/// Memory image: the last write to a word wins, regardless of order of
+/// writes to other words.
+#[test]
+fn sparse_memory_last_write_wins() {
+    for_cases(0xA1_0003, |rng| {
+        let n = 1 + (rng.next_u64() % 63) as usize;
         let mut mem = SparseMemory::new();
         let mut expected = std::collections::HashMap::new();
-        for &(addr, value) in &writes {
-            let word = Addr::new(addr).word();
-            mem.store(word, value);
-            expected.insert(word, value);
+        for _ in 0..n {
+            let addr = Addr::new(rng.next_u64() % 0x1000);
+            let value = rng.next_u64();
+            mem.store(addr, value);
+            expected.insert(addr.word(), (addr, value));
         }
-        for (word, value) in expected {
-            prop_assert_eq!(mem.peek(word), value);
+        for (_, (addr, value)) in expected {
+            assert_eq!(mem.peek(addr), value);
         }
-    }
+    });
+}
 
-    /// Identical update streams always produce matching fingerprints
-    /// (no false positives in output comparison).
-    #[test]
-    fn fingerprints_never_false_positive(
-        updates in prop::collection::vec((0u8..32, any::<u64>(), any::<u64>()), 0..100)
-    ) {
+/// Identical update streams always produce matching fingerprints
+/// (no false positives in output comparison).
+#[test]
+fn fingerprints_never_false_positive() {
+    for_cases(0xA1_0004, |rng| {
+        let n = (rng.next_u64() % 100) as usize;
         let mut a = FingerprintUnit::new(16);
         let mut b = FingerprintUnit::new(16);
-        for &(reg, value, addr) in &updates {
-            let rec = UpdateRecord::load(reg, value, addr);
+        for _ in 0..n {
+            let reg = (rng.next_u64() % 32) as u8;
+            let rec = UpdateRecord::load(reg, rng.next_u64(), rng.next_u64());
             a.absorb(&rec);
             b.absorb(&rec);
         }
         let fa = a.emit();
         let fb = b.emit();
-        prop_assert!(fa.matches(&fb));
-        prop_assert_eq!(fa.count as usize, updates.len());
-    }
+        assert!(fa.matches(&fb));
+        assert_eq!(fa.count as usize, n);
+    });
+}
 
-    /// A single flipped register value is detected (single-bit coverage of
-    /// the time-compressing CRC on whole-record granularity).
-    #[test]
-    fn fingerprints_detect_single_value_flip(
-        prefix in prop::collection::vec(any::<u64>(), 0..20),
-        victim: u64,
-        bit in 0u32..64,
-    ) {
+/// A single flipped register value is detected (single-bit coverage of
+/// the time-compressing CRC on whole-record granularity).
+#[test]
+fn fingerprints_detect_single_value_flip() {
+    for_cases(0xA1_0005, |rng| {
+        let prefix_len = (rng.next_u64() % 20) as usize;
+        let victim = rng.next_u64();
+        let bit = (rng.next_u64() % 64) as u32;
         let mut a = FingerprintUnit::new(16);
         let mut b = FingerprintUnit::new(16);
-        for &v in &prefix {
+        for _ in 0..prefix_len {
+            let v = rng.next_u64();
             let rec = UpdateRecord::reg(1, v);
             a.absorb(&rec);
             b.absorb(&rec);
         }
         a.absorb(&UpdateRecord::reg(2, victim));
         b.absorb(&UpdateRecord::reg(2, victim ^ (1 << bit)));
-        prop_assert_ne!(a.emit().hash, b.emit().hash);
-    }
+        assert_ne!(a.emit().hash, b.emit().hash);
+    });
+}
 
-    /// CRC is linear-feedback: consuming data in two chunks equals one.
-    #[test]
-    fn crc_chunking_is_associative(data in prop::collection::vec(any::<u8>(), 0..64), split in 0usize..64) {
-        let split = split.min(data.len());
+/// CRC is linear-feedback: consuming data in two chunks equals one.
+#[test]
+fn crc_chunking_is_associative() {
+    for_cases(0xA1_0006, |rng| {
+        let len = (rng.next_u64() % 64) as usize;
+        let data: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let split = if len == 0 { 0 } else { (rng.next_u64() as usize) % (len + 1) };
         let mut whole = Crc::new_16();
         whole.consume(&data);
         let mut parts = Crc::new_16();
         parts.consume(&data[..split]);
         parts.consume(&data[split..]);
-        prop_assert_eq!(whole.value(), parts.value());
-    }
+        assert_eq!(whole.value(), parts.value());
+    });
+}
 
-    /// Parity trees XOR-fold: compress(a) XOR compress(b) == compress(a^b)
-    /// word-wise (linearity, the property the aliasing bound rests on).
-    #[test]
-    fn parity_tree_is_linear(a: u64, b: u64) {
+/// Parity trees XOR-fold: compress(a) XOR compress(b) == compress(a^b)
+/// word-wise (linearity, the property the aliasing bound rests on).
+#[test]
+fn parity_tree_is_linear() {
+    for_cases(0xA1_0007, |rng| {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let tree = ParityTree::new(16);
         let ca = tree.compress(&[a]);
         let cb = tree.compress(&[b]);
         let cab = tree.compress(&[a ^ b]);
         let folded: Vec<u8> = ca.iter().zip(&cb).map(|(x, y)| x ^ y).collect();
-        prop_assert_eq!(folded, cab);
-    }
+        assert_eq!(folded, cab);
+    });
+}
 
-    /// Cache arrays never exceed capacity and always hit what was just
-    /// inserted.
-    #[test]
-    fn cache_capacity_and_presence(lines in prop::collection::vec(0u64..4096, 1..200)) {
+/// Cache arrays never exceed capacity and always hit what was just
+/// inserted.
+#[test]
+fn cache_capacity_and_presence() {
+    for_cases(0xA1_0008, |rng| {
+        let n = 1 + (rng.next_u64() % 199) as usize;
         let mut cache: CacheArray<()> = CacheArray::new(64, 4);
-        for &line in &lines {
+        for _ in 0..n {
+            let line = rng.next_u64() % 4096;
             cache.insert(line, ());
-            prop_assert!(cache.contains(line), "inserted line must be present");
-            prop_assert!(cache.occupancy() <= 64);
+            assert!(cache.contains(line), "inserted line must be present");
+            assert!(cache.occupancy() <= 64);
         }
-    }
+    });
+}
 
-    /// Coherent memory: a vocal store is visible to every vocal reader, and
-    /// the mute's phantom-global read at fill time returns the same value.
-    #[test]
-    fn vocal_store_visibility(addr in (0u64..0x4000).prop_map(|a| a & !7), value: u64) {
+/// Coherent memory: a vocal store is visible to every vocal reader, and
+/// the mute's phantom-global read at fill time returns the same value.
+#[test]
+fn vocal_store_visibility() {
+    for_cases(0xA1_0009, |rng| {
+        let addr = (rng.next_u64() % 0x4000) & !7;
+        let value = rng.next_u64();
         let mut mem = MemorySystem::new(MemConfig::small());
         let v0 = mem.register_l1(Owner::vocal(0));
         let m0 = mem.register_l1(Owner::mute(0));
         let v1 = mem.register_l1(Owner::vocal(1));
         mem.drain_store(Cycle::ZERO, v0, Addr::new(addr), value);
         let remote = mem.load(Cycle::new(500), v1, Addr::new(addr), PhantomStrength::Global);
-        prop_assert_eq!(remote.value, value);
+        assert_eq!(remote.value, value);
         let phantom = mem.load(Cycle::new(500), m0, Addr::new(addr), PhantomStrength::Global);
-        prop_assert_eq!(phantom.value, value);
-    }
+        assert_eq!(phantom.value, value);
+    });
+}
 
-    /// Deterministic replay: the same seed gives the same RNG stream.
-    #[test]
-    fn rng_replay(seed: u64) {
+/// Deterministic replay: the same seed gives the same RNG stream.
+#[test]
+fn rng_replay() {
+    for_cases(0xA1_000A, |rng| {
+        let seed = rng.next_u64();
         let mut a = SimRng::seed_from(seed);
         let mut b = SimRng::seed_from(seed);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
-    }
+    });
 }
 
 /// Whole-system determinism: two identically-seeded Reunion systems retire
 /// the exact same instruction counts and observe the same incoherence
-/// events. (Plain #[test]: running systems under proptest is too slow.)
+/// events.
 #[test]
 fn whole_system_replay_is_bit_identical() {
     use reunion_core::{CmpSystem, ExecutionMode, SystemConfig};
     use reunion_workloads::Workload;
     let workload = Workload::by_name("moldyn").unwrap();
     let cfg = SystemConfig::small_test(ExecutionMode::Reunion);
-    let mut run = |_: ()| {
+    let run = |_: ()| {
         let mut sys = CmpSystem::new(&cfg, &workload);
         sys.run(30_000);
         let s = sys.window_stats();
