@@ -54,21 +54,30 @@ impl Criterion {
 
     fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
         // Calibration pass: find an iteration count that fills the budget.
-        let mut b = Bencher { iters: 1_000, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1_000,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let per_iter = b.elapsed.as_nanos().max(1) as f64 / b.iters as f64;
         let iters = ((self.budget.as_nanos() as f64 / per_iter) as u64).clamp(100, 50_000_000);
 
         let mut best = f64::INFINITY;
         for _ in 0..self.samples {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             let ns = b.elapsed.as_nanos() as f64 / iters as f64;
             if ns < best {
                 best = ns;
             }
         }
-        println!("{name:<32} {best:>12.1} ns/iter   ({iters} iters x {} samples)", self.samples);
+        println!(
+            "{name:<32} {best:>12.1} ns/iter   ({iters} iters x {} samples)",
+            self.samples
+        );
     }
 }
 
@@ -179,13 +188,8 @@ fn bench_system_tick(c: &mut Criterion) {
         &SystemConfig::small_test(ExecutionMode::NonRedundant),
         &workload,
     );
-    c.bench_function("system_tick_nonredundant", |b| {
-        b.iter(|| baseline.tick())
-    });
-    let mut reunion = CmpSystem::new(
-        &SystemConfig::small_test(ExecutionMode::Reunion),
-        &workload,
-    );
+    c.bench_function("system_tick_nonredundant", |b| b.iter(|| baseline.tick()));
+    let mut reunion = CmpSystem::new(&SystemConfig::small_test(ExecutionMode::Reunion), &workload);
     c.bench_function("system_tick_reunion", |b| b.iter(|| reunion.tick()));
 }
 

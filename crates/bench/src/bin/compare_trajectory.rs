@@ -1,0 +1,197 @@
+//! Bench-trajectory regression gate.
+//!
+//! Compares every `BENCH_<id>.json` artifact in a baseline directory
+//! against a freshly generated candidate directory and fails (exit code 1)
+//! on drift: structural differences always fail, numeric leaves fail when
+//! they disagree beyond a relative tolerance. The simulator is fully
+//! deterministic, so matching commits produce byte-identical artifacts and
+//! the tolerance only exists as headroom for intentional, reviewed
+//! refreshes of the baselines.
+//!
+//! ```text
+//! compare_trajectory <baseline_dir> <candidate_dir> [--tolerance <rel>]
+//! ```
+//!
+//! To accept an intentional change, regenerate the baselines locally:
+//!
+//! ```text
+//! REUNION_FAST=1 REUNION_OUT_DIR=baselines cargo run --release -p reunion-bench --bin <id>
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use reunion_sim::{parse_json, JsonValue};
+
+/// Default relative tolerance for numeric leaves.
+const DEFAULT_TOLERANCE: f64 = 0.02;
+/// Absolute slack for values near zero, where relative error is undefined.
+const ABS_EPSILON: f64 = 1e-9;
+
+struct Drift {
+    path: String,
+    detail: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut dirs = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance requires a non-negative number");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            dirs.push(arg.clone());
+        }
+    }
+    let [baseline_dir, candidate_dir] = dirs.as_slice() else {
+        eprintln!("usage: compare_trajectory <baseline_dir> <candidate_dir> [--tolerance <rel>]");
+        return ExitCode::FAILURE;
+    };
+
+    let baselines = match bench_files(Path::new(baseline_dir)) {
+        Ok(files) if !files.is_empty() => files,
+        Ok(_) => {
+            eprintln!("no BENCH_*.json files found under {baseline_dir}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("cannot read {baseline_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    // A candidate artifact with no checked-in baseline is drift too: a
+    // newly added binary must land with its baseline or it is never gated.
+    if let Ok(candidates) = bench_files(Path::new(candidate_dir)) {
+        for cand in candidates {
+            let name = cand.file_name().expect("listed file");
+            if !baselines.iter().any(|b| b.file_name() == Some(name)) {
+                failed = true;
+                println!(
+                    "FAIL {}: no baseline under {baseline_dir}; add one",
+                    name.to_string_lossy()
+                );
+            }
+        }
+    }
+    for base_path in baselines {
+        let name = base_path
+            .file_name()
+            .expect("listed file")
+            .to_string_lossy()
+            .to_string();
+        let cand_path = Path::new(candidate_dir).join(&name);
+        match compare_files(&base_path, &cand_path, tolerance) {
+            Ok(drifts) if drifts.is_empty() => {
+                println!("OK   {name}");
+            }
+            Ok(drifts) => {
+                failed = true;
+                println!("FAIL {name}: {} drift(s)", drifts.len());
+                for d in drifts.iter().take(20) {
+                    println!("       {}: {}", d.path, d.detail);
+                }
+                if drifts.len() > 20 {
+                    println!("       ... and {} more", drifts.len() - 20);
+                }
+            }
+            Err(e) => {
+                failed = true;
+                println!("FAIL {name}: {e}");
+            }
+        }
+    }
+    if failed {
+        println!("trajectory drift detected; refresh baselines/ if the change is intentional");
+        ExitCode::FAILURE
+    } else {
+        println!("all trajectories within tolerance {tolerance}");
+        ExitCode::SUCCESS
+    }
+}
+
+/// All `BENCH_*.json` files directly under `dir`, sorted by name.
+fn bench_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn compare_files(base: &Path, cand: &Path, tolerance: f64) -> Result<Vec<Drift>, String> {
+    let base_text = std::fs::read_to_string(base)
+        .map_err(|e| format!("cannot read baseline {}: {e}", base.display()))?;
+    let cand_text = std::fs::read_to_string(cand)
+        .map_err(|e| format!("missing candidate {}: {e}", cand.display()))?;
+    let base_json =
+        parse_json(&base_text).map_err(|e| format!("baseline {}: {e}", base.display()))?;
+    let cand_json =
+        parse_json(&cand_text).map_err(|e| format!("candidate {}: {e}", cand.display()))?;
+    let mut drifts = Vec::new();
+    compare_values(&base_json, &cand_json, tolerance, "$", &mut drifts);
+    Ok(drifts)
+}
+
+fn compare_values(a: &JsonValue, b: &JsonValue, tol: f64, path: &str, out: &mut Vec<Drift>) {
+    match (a, b) {
+        (JsonValue::Num(x), JsonValue::Num(y)) => {
+            let scale = x.abs().max(y.abs());
+            if (x - y).abs() > tol * scale + ABS_EPSILON {
+                out.push(Drift {
+                    path: path.to_string(),
+                    detail: format!("baseline {x} vs candidate {y}"),
+                });
+            }
+        }
+        (JsonValue::Array(xs), JsonValue::Array(ys)) => {
+            if xs.len() != ys.len() {
+                out.push(Drift {
+                    path: path.to_string(),
+                    detail: format!("array length {} vs {}", xs.len(), ys.len()),
+                });
+                return;
+            }
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                compare_values(x, y, tol, &format!("{path}[{i}]"), out);
+            }
+        }
+        (JsonValue::Object(xs), JsonValue::Object(ys)) => {
+            for (k, _) in ys.iter().filter(|(k, _)| a.get(k).is_none()) {
+                out.push(Drift {
+                    path: format!("{path}.{k}"),
+                    detail: "unexpected key in candidate".to_string(),
+                });
+            }
+            for (k, x) in xs {
+                match b.get(k) {
+                    Some(y) => compare_values(x, y, tol, &format!("{path}.{k}"), out),
+                    None => out.push(Drift {
+                        path: format!("{path}.{k}"),
+                        detail: "missing key in candidate".to_string(),
+                    }),
+                }
+            }
+        }
+        _ if a == b => {}
+        _ => out.push(Drift {
+            path: path.to_string(),
+            detail: format!("baseline {a:?} vs candidate {b:?}"),
+        }),
+    }
+}

@@ -2,8 +2,7 @@
 //! comparison latency (0–40 cycles), averaged per workload class.
 
 use reunion_bench::{
-    banner, class_averages, latency_label, run_and_emit, sample_config, workloads,
-    SWEEP_LATENCIES,
+    banner, class_averages, latency_label, run_and_emit, sample_config, workloads, SWEEP_LATENCIES,
 };
 use reunion_core::ExecutionMode;
 use reunion_sim::{ConfigPatch, ExperimentGrid, ExperimentReport};
@@ -53,7 +52,10 @@ fn main() {
     );
     panel(&report, ExecutionMode::Strict);
     println!();
-    banner("Figure 6(b)", "Reunion vs comparison latency (normalized IPC)");
+    banner(
+        "Figure 6(b)",
+        "Reunion vs comparison latency (normalized IPC)",
+    );
     panel(&report, ExecutionMode::Reunion);
     println!();
     println!("(paper: both degrade roughly linearly; Strict ~1.0 at lat 0,");

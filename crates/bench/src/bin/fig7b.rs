@@ -2,15 +2,18 @@
 //! vs UltraSPARC III software-managed TLBs, across comparison latencies.
 
 use reunion_bench::{
-    banner, commercial_workloads, keyed_latency_label, run_and_emit, sample_config,
-    SWEEP_LATENCIES,
+    banner, commercial_workloads, keyed_latency_label, run_and_emit, sample_config, SWEEP_LATENCIES,
 };
 use reunion_core::ExecutionMode;
 use reunion_cpu::TlbMode;
 use reunion_sim::{ConfigPatch, ExperimentGrid};
 
 const TLBS: [(&str, &str, TlbMode); 2] = [
-    ("hw", "US III hardware TLB", TlbMode::Hardware { walk_latency: 30 }),
+    (
+        "hw",
+        "US III hardware TLB",
+        TlbMode::Hardware { walk_latency: 30 },
+    ),
     ("sw", "US III software TLB", TlbMode::Software),
 ];
 
@@ -22,7 +25,11 @@ fn main() {
     let mut patches = Vec::new();
     for (key, _, tlb) in TLBS {
         for &latency in &SWEEP_LATENCIES {
-            patches.push(ConfigPatch::new(keyed_latency_label(key, latency)).tlb(tlb).latency(latency));
+            patches.push(
+                ConfigPatch::new(keyed_latency_label(key, latency))
+                    .tlb(tlb)
+                    .latency(latency),
+            );
         }
     }
     let grid = ExperimentGrid::builder(

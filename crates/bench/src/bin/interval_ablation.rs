@@ -32,7 +32,10 @@ fn main() {
     .build();
     let report = run_and_emit(&grid);
 
-    println!("{:<12} {:>9} {:>9} {:>9}", "workload", "ival=1", "ival=5", "ival=50");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9}",
+        "workload", "ival=1", "ival=5", "ival=50"
+    );
     for w in workloads() {
         print!("{:<12}", w.name());
         for &interval in &INTERVALS {

@@ -3,15 +3,16 @@
 //! reports >60% average loss at a 40-cycle comparison latency.
 
 use reunion_bench::{
-    banner, commercial_workloads, keyed_latency_label, run_and_emit, sample_config,
-    SWEEP_LATENCIES,
+    banner, commercial_workloads, keyed_latency_label, run_and_emit, sample_config, SWEEP_LATENCIES,
 };
 use reunion_core::ExecutionMode;
 use reunion_cpu::Consistency;
 use reunion_sim::{ConfigPatch, ExperimentGrid};
 
-const MODELS: [(&str, &str, Consistency); 2] =
-    [("tso", "Sun TSO", Consistency::Tso), ("sc", "SC", Consistency::Sc)];
+const MODELS: [(&str, &str, Consistency); 2] = [
+    ("tso", "Sun TSO", Consistency::Tso),
+    ("sc", "SC", Consistency::Sc),
+];
 
 fn main() {
     banner(

@@ -41,9 +41,17 @@ pub fn keyed_latency_label(key: &str, latency: u64) -> String {
 /// is set.
 pub fn sample_config() -> SampleConfig {
     if env_flag("REUNION_FAST") {
-        SampleConfig { warmup: 20_000, window: 20_000, windows: 2 }
+        SampleConfig {
+            warmup: 20_000,
+            window: 20_000,
+            windows: 2,
+        }
     } else {
-        SampleConfig { warmup: 100_000, window: 50_000, windows: 4 }
+        SampleConfig {
+            warmup: 100_000,
+            window: 50_000,
+            windows: 4,
+        }
     }
 }
 
@@ -62,7 +70,10 @@ pub fn workloads() -> Vec<Workload> {
 /// The commercial (Web+OLTP+DSS) subset of the suite, in presentation
 /// order — the population of Figures 7(b) and the SC ablation.
 pub fn commercial_workloads() -> Vec<Workload> {
-    suite().into_iter().filter(|w| w.class().is_commercial()).collect()
+    suite()
+        .into_iter()
+        .filter(|w| w.class().is_commercial())
+        .collect()
 }
 
 /// Executes the grid with an environment-configured

@@ -21,8 +21,12 @@ pub struct Measurement {
 
 impl Measurement {
     /// Input-incoherence events per million user instructions (Table 3).
+    ///
+    /// Reads the pair drivers' measured `input_incoherence` counter, not
+    /// the raw mismatch count (which also includes escalations raised while
+    /// a recovery is already in flight).
     pub fn incoherence_per_million(&self) -> f64 {
-        self.totals.per_million(self.totals.mismatches)
+        self.totals.per_million(self.totals.input_incoherence)
     }
 
     /// TLB misses per million user instructions (Table 3).
@@ -104,7 +108,8 @@ mod tests {
             totals: SystemStats {
                 user_instructions: 1_000_000,
                 cycles: 1_000_000,
-                mismatches: 3,
+                mismatches: 4,
+                input_incoherence: 3,
                 tlb_misses: 1500,
                 ..Default::default()
             },

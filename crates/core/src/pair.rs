@@ -22,9 +22,13 @@ pub enum RecoveryPhase {
 /// Statistics maintained per logical processor pair.
 #[derive(Clone, Debug)]
 pub struct PairStats {
-    /// Fingerprint mismatches detected (input incoherence events when no
-    /// soft errors are injected — Table 3's metric).
+    /// Fingerprint mismatches detected, including escalations raised while
+    /// a recovery is already in flight.
     pub mismatches: Counter,
+    /// Input-incoherence events: mismatches first detected during normal
+    /// paired execution (Table 3's measured metric). Escalations within an
+    /// ongoing recovery belong to the same event and are not re-counted.
+    pub input_incoherence: Counter,
     /// Recoveries begun (rollback + re-execution protocol).
     pub recoveries: Counter,
     /// Recoveries that escalated to the phase-two ARF copy.
@@ -42,6 +46,7 @@ impl PairStats {
     fn new() -> Self {
         PairStats {
             mismatches: Counter::new("mismatches"),
+            input_incoherence: Counter::new("input_incoherence"),
             recoveries: Counter::new("recoveries"),
             phase2_recoveries: Counter::new("phase2_recoveries"),
             failures: Counter::new("failures"),
@@ -53,6 +58,7 @@ impl PairStats {
     /// Resets every counter (between measurement windows).
     pub fn reset(&mut self) {
         self.mismatches.reset();
+        self.input_incoherence.reset();
         self.recoveries.reset();
         self.phase2_recoveries.reset();
         self.failures.reset();
@@ -192,7 +198,10 @@ impl PairDriver {
     fn begin_mismatch_recovery(&mut self, now: Cycle, mem: &mut MemorySystem) {
         self.stats.mismatches.incr();
         match self.phase {
-            RecoveryPhase::Normal => self.start_recovery(now, mem, RecoveryPhase::Phase1),
+            RecoveryPhase::Normal => {
+                self.stats.input_incoherence.incr();
+                self.start_recovery(now, mem, RecoveryPhase::Phase1)
+            }
             RecoveryPhase::Phase1 => {
                 self.stats.phase2_recoveries.incr();
                 self.start_recovery(now, mem, RecoveryPhase::Phase2);
@@ -204,16 +213,23 @@ impl PairDriver {
     fn collect_events(&mut self) {
         let ve = self.vocal.epoch();
         let me = self.mute.epoch();
-        self.vocal_events
-            .extend(self.vocal.take_check_events().into_iter().filter(|e| e.epoch == ve));
-        self.mute_events
-            .extend(self.mute.take_check_events().into_iter().filter(|e| e.epoch == me));
+        self.vocal_events.extend(
+            self.vocal
+                .take_check_events()
+                .into_iter()
+                .filter(|e| e.epoch == ve),
+        );
+        self.mute_events.extend(
+            self.mute
+                .take_check_events()
+                .into_iter()
+                .filter(|e| e.epoch == me),
+        );
     }
 
     fn compare_and_release(&mut self, now: Cycle, mem: &mut MemorySystem) {
         loop {
-            let (Some(v), Some(m)) = (self.vocal_events.front(), self.mute_events.front())
-            else {
+            let (Some(v), Some(m)) = (self.vocal_events.front(), self.mute_events.front()) else {
                 return;
             };
             // Drop stale-epoch events defensively.
@@ -237,16 +253,23 @@ impl PairDriver {
                 // partner's fingerprint has crossed the channel.
                 let release_v = v.ready_at.max(m.ready_at + self.comparison_latency);
                 let release_m = m.ready_at.max(v.ready_at + self.comparison_latency);
-                self.vocal.grant(ReleaseGrant { epoch: v.epoch, interval_id, at: release_v });
-                self.mute.grant(ReleaseGrant { epoch: m.epoch, interval_id, at: release_m });
+                self.vocal.grant(ReleaseGrant {
+                    epoch: v.epoch,
+                    interval_id,
+                    at: release_v,
+                });
+                self.mute.grant(ReleaseGrant {
+                    epoch: m.epoch,
+                    interval_id,
+                    at: release_m,
+                });
                 self.stats.intervals_compared.incr();
                 self.vocal_events.pop_front();
                 self.mute_events.pop_front();
 
                 // A successful comparison of the synchronized instruction
                 // completes the re-execution protocol.
-                if self.phase != RecoveryPhase::Normal && self.sync_interval == Some(interval_id)
-                {
+                if self.phase != RecoveryPhase::Normal && self.sync_interval == Some(interval_id) {
                     self.finish_recovery();
                 }
             } else {
@@ -395,7 +418,11 @@ mod tests {
             }
             let mut mute = Core::new(mcfg, program, ml1, 42);
             mute.set_mute(true);
-            Rig { mem, pair: PairDriver::new(vocal, mute, 10, strict), now: 0 }
+            Rig {
+                mem,
+                pair: PairDriver::new(vocal, mute, 10, strict),
+                now: 0,
+            }
         }
 
         fn run(&mut self, cycles: u64) {
@@ -447,11 +474,7 @@ mod tests {
 
     #[test]
     fn serializing_instructions_cost_more_with_checking() {
-        let serial_loop = vec![
-            I::add_imm(r(1), r(1), 1),
-            I::trap(),
-            I::jump(0),
-        ];
+        let serial_loop = vec![I::add_imm(r(1), r(1), 1), I::trap(), I::jump(0)];
         let mut rig = Rig::new(serial_loop, false);
         rig.run(4000);
         let with_traps = rig.pair.retired_user();
@@ -555,7 +578,10 @@ mod tests {
         corrupted.regs.write(r(1), 0x5008);
         rig.pair.mute_mut().copy_arch_state_from(&corrupted);
         rig.run(20_000);
-        assert!(rig.pair.stats().phase2_recoveries.value() >= 1, "phase 2 must trigger");
+        assert!(
+            rig.pair.stats().phase2_recoveries.value() >= 1,
+            "phase 2 must trigger"
+        );
         assert_eq!(rig.pair.stats().failures.value(), 0);
         assert_eq!(rig.pair.phase(), RecoveryPhase::Normal);
         // After phase 2 the pair agrees again and keeps retiring.
@@ -605,7 +631,11 @@ mod tests {
         rig.run(500);
         rig.pair.deliver_interrupt();
         rig.run(5000);
-        assert_eq!(rig.pair.stats().mismatches.value(), 0, "handlers must match");
+        assert_eq!(
+            rig.pair.stats().mismatches.value(),
+            0,
+            "handlers must match"
+        );
         assert!(rig.pair.vocal().stats().serializing.value() >= 2);
         assert!(rig.pair.mute().stats().serializing.value() >= 2);
     }

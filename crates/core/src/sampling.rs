@@ -28,14 +28,22 @@ impl Default for SampleConfig {
     fn default() -> Self {
         // The paper warms for 100k cycles and measures 50k; we take several
         // windows to build confidence intervals.
-        SampleConfig { warmup: 100_000, window: 50_000, windows: 4 }
+        SampleConfig {
+            warmup: 100_000,
+            window: 50_000,
+            windows: 4,
+        }
     }
 }
 
 impl SampleConfig {
     /// A fast profile for tests and smoke runs.
     pub fn quick() -> Self {
-        SampleConfig { warmup: 10_000, window: 10_000, windows: 2 }
+        SampleConfig {
+            warmup: 10_000,
+            window: 10_000,
+            windows: 2,
+        }
     }
 }
 
@@ -51,15 +59,7 @@ pub fn measure(cfg: &SystemConfig, workload: &Workload, sample: &SampleConfig) -
         sys.run(sample.window);
         let w = sys.window_stats();
         ipc.push(w.ipc());
-        totals.user_instructions += w.user_instructions;
-        totals.cycles += w.cycles;
-        totals.mismatches += w.mismatches;
-        totals.recoveries += w.recoveries;
-        totals.phase2 += w.phase2;
-        totals.failures += w.failures;
-        totals.sync_requests += w.sync_requests;
-        totals.tlb_misses += w.tlb_misses;
-        totals.phantom_garbage_fills += w.phantom_garbage_fills;
+        accumulate(&mut totals, &w);
     }
 
     Measurement {
@@ -134,12 +134,15 @@ fn accumulate(into: &mut SystemStats, w: &SystemStats) {
     into.user_instructions += w.user_instructions;
     into.cycles += w.cycles;
     into.mismatches += w.mismatches;
+    into.input_incoherence += w.input_incoherence;
     into.recoveries += w.recoveries;
     into.phase2 += w.phase2;
     into.failures += w.failures;
     into.sync_requests += w.sync_requests;
     into.tlb_misses += w.tlb_misses;
     into.phantom_garbage_fills += w.phantom_garbage_fills;
+    into.serializing_stall_cycles += w.serializing_stall_cycles;
+    into.reexec_penalty_cycles += w.reexec_penalty_cycles;
 }
 
 #[cfg(test)]

@@ -23,9 +23,11 @@ pub struct SystemStats {
     pub user_instructions: u64,
     /// Elapsed cycles in the window.
     pub cycles: u64,
-    /// Fingerprint mismatches (input incoherence events absent injected
-    /// errors).
+    /// Fingerprint mismatches, including escalations within recoveries.
     pub mismatches: u64,
+    /// Input-incoherence events measured by the pair drivers: mismatches
+    /// first detected during normal paired execution (Table 3's metric).
+    pub input_incoherence: u64,
     /// Recoveries begun.
     pub recoveries: u64,
     /// Phase-two recoveries.
@@ -38,6 +40,12 @@ pub struct SystemStats {
     pub tlb_misses: u64,
     /// Phantom requests that filled mute caches with arbitrary data.
     pub phantom_garbage_fills: u64,
+    /// Cycles retirement stalled on serializing check round trips, summed
+    /// over both halves of every pair.
+    pub serializing_stall_cycles: u64,
+    /// Check round-trip cycles charged during input-incoherence
+    /// re-executions, summed over both halves of every pair.
+    pub reexec_penalty_cycles: u64,
 }
 
 impl SystemStats {
@@ -90,6 +98,7 @@ impl CmpSystem {
             consistency: cfg.consistency,
             fingerprint_interval: cfg.fingerprint_interval,
             itlb_miss_per_million: workload.spec().itlb_miss_per_million,
+            check_latency: cfg.comparison_latency,
             ..CoreConfig::default()
         };
 
@@ -106,10 +115,14 @@ impl CmpSystem {
                 ExecutionMode::Strict => {
                     let vl1 = mem.register_l1(Owner::vocal(lp as u8));
                     let ml1 = mem.register_l1(Owner::mute(lp as u8));
-                    let mut vocal =
-                        Core::new(core_cfg_base.clone(), program.clone(), vl1, pair_seed);
+                    // The strict oracle's LVQ slack execution keeps the
+                    // fingerprint comparison off the serializing critical
+                    // path; only Reunion pays the grant's return trip.
+                    let mut vcfg = core_cfg_base.clone();
+                    vcfg.serializing_round_trip = false;
+                    let mut vocal = Core::new(vcfg.clone(), program.clone(), vl1, pair_seed);
                     vocal.set_lvq_producer(true);
-                    let mut mcfg = core_cfg_base.clone();
+                    let mut mcfg = vcfg;
                     mcfg.strict_lvq = true;
                     let mut mute = Core::new(mcfg, program, ml1, pair_seed);
                     mute.set_mute(true);
@@ -261,11 +274,17 @@ impl CmpSystem {
                 }
                 Proc::Pair(pair) => {
                     stats.mismatches += pair.stats().mismatches.value();
+                    stats.input_incoherence += pair.stats().input_incoherence.value();
                     stats.recoveries += pair.stats().recoveries.value();
                     stats.phase2 += pair.stats().phase2_recoveries.value();
                     stats.failures += pair.stats().failures.value();
                     stats.sync_requests += pair.stats().sync_requests.value();
                     stats.tlb_misses += pair.vocal().stats().tlb_misses();
+                    for core in [pair.vocal(), pair.mute()] {
+                        stats.serializing_stall_cycles +=
+                            core.stats().serializing_stall_cycles.value();
+                        stats.reexec_penalty_cycles += core.stats().reexec_penalty_cycles.value();
+                    }
                 }
             }
         }
@@ -318,8 +337,12 @@ mod tests {
     #[test]
     fn redundant_modes_are_slower_than_baseline() {
         let workload = moldyn();
-        let mut base = CmpSystem::new(&SystemConfig::small_test(ExecutionMode::NonRedundant), &workload);
-        let mut reunion = CmpSystem::new(&SystemConfig::small_test(ExecutionMode::Reunion), &workload);
+        let mut base = CmpSystem::new(
+            &SystemConfig::small_test(ExecutionMode::NonRedundant),
+            &workload,
+        );
+        let mut reunion =
+            CmpSystem::new(&SystemConfig::small_test(ExecutionMode::Reunion), &workload);
         base.run(15_000);
         reunion.run(15_000);
         assert!(

@@ -6,37 +6,40 @@ use reunion_kernel::Cycle;
 
 /// A fingerprint emitted by a core's check stage at an interval boundary.
 ///
-/// The pairing driver collects events from both cores, matches them by
+/// The pair driver collects events from both cores, matches them by
 /// `(epoch, fingerprint.interval_id)`, compares hashes and instruction
-/// counts, and either grants release (match) or triggers recovery
-/// (mismatch).
+/// counts, and answers with a [`ReleaseGrant`] on a match or begins
+/// recovery on a mismatch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CheckEvent {
-    /// Recovery epoch: events from before a rollback are stale and must be
-    /// discarded by the driver.
+    /// Recovery epoch the event belongs to; events from before a rollback
+    /// are stale and are discarded by the pair driver.
     pub epoch: u64,
     /// The interval fingerprint (id, instruction count, hash).
     pub fingerprint: Fingerprint,
-    /// When this core's fingerprint is available to send — the in-order
-    /// check time of the interval's last instruction.
+    /// Cycle at which this core's fingerprint is ready to send — the
+    /// in-order check time of the interval's last instruction.
     pub ready_at: Cycle,
-    /// Whether the interval ends with a serializing instruction (ends the
-    /// interval early and stalls retirement for the full comparison).
+    /// Whether the interval ends in a serializing instruction. Such an
+    /// interval drains the pipeline and, in Reunion, stalls retirement for
+    /// the full check round trip.
     pub serializing: bool,
 }
 
-/// Permission from the pairing driver for an interval to retire.
-///
-/// `at` is when the partner's fingerprint has arrived and been compared:
-/// `max(own_ready, partner_ready + comparison_latency)` from the perspective
-/// of the receiving core.
+/// Permission from the pair driver for an interval to retire — the answer
+/// to a matched pair of [`CheckEvent`]s.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReleaseGrant {
-    /// Recovery epoch the grant belongs to.
+    /// Recovery epoch the grant belongs to; grants from before a rollback
+    /// are stale and are ignored by the core.
     pub epoch: u64,
-    /// Interval being released.
+    /// The interval fingerprint id being released.
     pub interval_id: u64,
-    /// Earliest cycle at which instructions of the interval may retire.
+    /// Cycle at which the partner's fingerprint has arrived and compared:
+    /// `max(own_ready, partner_ready + comparison_latency)` from the
+    /// receiving core's perspective. Serializing intervals additionally
+    /// wait out the grant's return trip
+    /// ([`CoreConfig::check_latency`](crate::CoreConfig::check_latency)).
     pub at: Cycle,
 }
 
@@ -61,9 +64,22 @@ mod tests {
 
     #[test]
     fn event_and_grant_round_trip() {
-        let fp = Fingerprint { interval_id: 4, count: 1, hash: 0x1234 };
-        let ev = CheckEvent { epoch: 0, fingerprint: fp, ready_at: Cycle::new(10), serializing: false };
-        let grant = ReleaseGrant { epoch: ev.epoch, interval_id: ev.fingerprint.interval_id, at: Cycle::new(20) };
+        let fp = Fingerprint {
+            interval_id: 4,
+            count: 1,
+            hash: 0x1234,
+        };
+        let ev = CheckEvent {
+            epoch: 0,
+            fingerprint: fp,
+            ready_at: Cycle::new(10),
+            serializing: false,
+        };
+        let grant = ReleaseGrant {
+            epoch: ev.epoch,
+            interval_id: ev.fingerprint.interval_id,
+            at: Cycle::new(20),
+        };
         assert_eq!(grant.interval_id, 4);
         assert!(grant.at > ev.ready_at);
     }

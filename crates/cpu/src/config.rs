@@ -68,6 +68,19 @@ pub struct CoreConfig {
     pub fingerprint_interval: u32,
     /// Fingerprint CRC width in bits.
     pub fingerprint_width: u32,
+    /// One-way check latency in cycles, charged on top of the release
+    /// grant when an interval ends in a serializing instruction (the grant
+    /// itself must cross back to the core before the drained pipeline may
+    /// resume), and twice (a full round trip) on every input-incoherence
+    /// re-execution fulfillment. Pair drivers set this to the comparison
+    /// latency.
+    pub check_latency: u64,
+    /// Whether serializing intervals pay the grant's return trip
+    /// (`check_latency`) before retiring. True for Reunion's tightly
+    /// coupled pairs; false for the strict-input-replication oracle, whose
+    /// LVQ-style slack execution keeps the comparison off the critical
+    /// path.
+    pub serializing_round_trip: bool,
 }
 
 impl Default for CoreConfig {
@@ -85,6 +98,8 @@ impl Default for CoreConfig {
             consistency: Consistency::Tso,
             fingerprint_interval: 1,
             fingerprint_width: 16,
+            check_latency: 10,
+            serializing_round_trip: true,
         }
     }
 }

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use reunion_fingerprint::{FingerprintUnit, UpdateRecord};
 use reunion_isa::{
-    alu_compute, branch_decides, effective_address, Addr, ArchState, Instruction, Opcode,
-    Program, RegId,
+    alu_compute, branch_decides, effective_address, Addr, ArchState, Instruction, Opcode, Program,
+    RegId,
 };
 use reunion_kernel::{Cycle, SimRng};
 use reunion_mem::{L1Id, MemorySystem};
@@ -255,7 +255,12 @@ impl Core {
             .iter_mut()
             .find(|e| e.seq == seq)
             .expect("sync entry in ROB");
-        entry.completion = done_at.as_u64();
+        // A re-executed instruction pays the full check round trip on top of
+        // the coherent access: its fingerprint crosses to the partner and
+        // the release grant crosses back before anything younger may run.
+        let penalty = 2 * self.cfg.check_latency;
+        entry.completion = done_at.as_u64() + penalty;
+        self.stats.reexec_penalty_cycles.add(penalty);
         let ct = self.last_check_time.max(entry.completion);
         entry.check_time = ct;
         self.last_check_time = ct;
@@ -327,9 +332,7 @@ impl Core {
             if head.completion == u64::MAX {
                 break;
             }
-            if self.cfg.checking
-                && !self.grants.contains_key(&(self.epoch, head.interval_id))
-            {
+            if self.cfg.checking && !self.grants.contains_key(&(self.epoch, head.interval_id)) {
                 break;
             }
             let entry = self.rob.pop_front().expect("head exists");
@@ -415,9 +418,23 @@ impl Core {
                 break;
             }
             if self.cfg.checking {
-                match self.grants.get(&(self.epoch, head.interval_id)) {
-                    Some(&at) if at <= now_raw => {}
-                    _ => break,
+                let Some(&granted_at) = self.grants.get(&(self.epoch, head.interval_id)) else {
+                    break;
+                };
+                // An interval ending in a serializing instruction drains the
+                // pipeline and stalls retirement for the full check round
+                // trip: the release grant must cross back to the core before
+                // the serializing instruction may commit (§4.4).
+                let release_at = if head.serializing && self.cfg.serializing_round_trip {
+                    granted_at + self.cfg.check_latency
+                } else {
+                    granted_at
+                };
+                if release_at > now_raw {
+                    if head.serializing && granted_at <= now_raw {
+                        self.stats.serializing_stall_cycles.incr();
+                    }
+                    break;
                 }
             }
             let entry = self.rob.pop_front().expect("head exists");
@@ -895,7 +912,11 @@ mod tests {
         // r1 starts at 0, counts up forever.
         let code = vec![I::add_imm(r(1), r(1), 1), I::jump(0)];
         let (core, _) = run_core(code, 3000);
-        assert!(core.retired_user() > 1000, "retired {}", core.retired_user());
+        assert!(
+            core.retired_user() > 1000,
+            "retired {}",
+            core.retired_user()
+        );
         // IPC sanity: 4-wide core on a dependent chain + jump: > 0.5 IPC.
         assert!(core.retired_user() > 1500);
     }
@@ -1068,7 +1089,10 @@ mod tests {
         let program = Arc::new(Program::new("tlb", code).unwrap());
         let mut mem = MemorySystem::new(MemConfig::small());
         let l1 = mem.register_l1(Owner::vocal(0));
-        let cfg = CoreConfig { tlb: TlbMode::Software, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            tlb: TlbMode::Software,
+            ..CoreConfig::default()
+        };
         let mut core = Core::new(cfg, program, l1, 7);
         for c in 0..5000 {
             core.tick(Cycle::new(c), &mut mem);
@@ -1111,13 +1135,20 @@ mod tests {
         let program = Arc::new(Program::new("sc", code).unwrap());
         let mut mem = MemorySystem::new(MemConfig::small());
         let l1 = mem.register_l1(Owner::vocal(0));
-        let cfg = CoreConfig { consistency: crate::Consistency::Sc, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            consistency: crate::Consistency::Sc,
+            ..CoreConfig::default()
+        };
         let mut core = Core::new(cfg, program, l1, 7);
         for c in 0..2000 {
             core.tick(Cycle::new(c), &mut mem);
         }
         assert!(core.is_halted());
-        assert_eq!(core.stats().serializing.value(), 2, "each store serializes under SC");
+        assert_eq!(
+            core.stats().serializing.value(),
+            2,
+            "each store serializes under SC"
+        );
     }
 
     #[test]
@@ -1225,11 +1256,7 @@ mod tests {
 
     #[test]
     fn strict_lvq_consumes_provided_values() {
-        let code = vec![
-            I::load_imm(r(1), 0xE00),
-            I::load(r(2), r(1), 0),
-            I::halt(),
-        ];
+        let code = vec![I::load_imm(r(1), 0xE00), I::load(r(2), r(1), 0), I::halt()];
         let program = Arc::new(Program::new("lvq", code).unwrap());
         let mut mem = MemorySystem::new(MemConfig::small());
         let l1 = mem.register_l1(Owner::mute(0));
@@ -1265,11 +1292,7 @@ mod tests {
 
     #[test]
     fn lvq_producer_exports_load_values() {
-        let code = vec![
-            I::load_imm(r(1), 0xF00),
-            I::load(r(2), r(1), 0),
-            I::halt(),
-        ];
+        let code = vec![I::load_imm(r(1), 0xF00), I::load(r(2), r(1), 0), I::halt()];
         let program = Arc::new(Program::new("lvp", code).unwrap());
         let mut mem = MemorySystem::new(MemConfig::small());
         mem.poke(Addr::new(0xF00), 99);

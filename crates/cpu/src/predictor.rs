@@ -37,7 +37,10 @@ impl Gshare {
     ///
     /// Panics if `log2_entries` is zero or greater than 24.
     pub fn new(log2_entries: u32) -> Self {
-        assert!((1..=24).contains(&log2_entries), "unreasonable predictor size");
+        assert!(
+            (1..=24).contains(&log2_entries),
+            "unreasonable predictor size"
+        );
         let entries = 1usize << log2_entries;
         Gshare {
             // Weakly taken: loop-heavy synthetic code warms up quickly.

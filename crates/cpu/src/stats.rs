@@ -27,6 +27,12 @@ pub struct CoreStats {
     pub sync_loads: Counter,
     /// Fingerprint intervals emitted.
     pub intervals: Counter,
+    /// Cycles retirement stalled at a serializing interval waiting for the
+    /// check round trip (beyond the release grant itself).
+    pub serializing_stall_cycles: Counter,
+    /// Cycles charged as check-stage round-trip penalties during
+    /// input-incoherence re-executions.
+    pub reexec_penalty_cycles: Counter,
 }
 
 impl CoreStats {
@@ -44,6 +50,8 @@ impl CoreStats {
             forwarded_loads: Counter::new("forwarded_loads"),
             sync_loads: Counter::new("sync_loads"),
             intervals: Counter::new("intervals"),
+            serializing_stall_cycles: Counter::new("serializing_stall_cycles"),
+            reexec_penalty_cycles: Counter::new("reexec_penalty_cycles"),
         }
     }
 
@@ -60,6 +68,8 @@ impl CoreStats {
         self.forwarded_loads.reset();
         self.sync_loads.reset();
         self.intervals.reset();
+        self.serializing_stall_cycles.reset();
+        self.reexec_penalty_cycles.reset();
     }
 
     /// Combined TLB misses (Table 3's "TLB Misses" column).

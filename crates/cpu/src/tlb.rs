@@ -34,7 +34,11 @@ pub struct Tlb {
 impl Tlb {
     /// Creates a TLB with `entries` entries and `assoc` ways.
     pub fn new(entries: usize, assoc: usize) -> Self {
-        Tlb { entries: CacheArray::new(entries, assoc), misses: 0, accesses: 0 }
+        Tlb {
+            entries: CacheArray::new(entries, assoc),
+            misses: 0,
+            accesses: 0,
+        }
     }
 
     /// Looks up `page`, filling on miss. Returns `true` on a hit.
@@ -119,8 +123,14 @@ mod tests {
         let h = software_tlb_handler();
         assert_eq!(h.len(), 5);
         assert!(h.iter().all(|i| i.op.is_serializing()));
-        let traps = h.iter().filter(|i| i.op == reunion_isa::Opcode::Trap).count();
-        let mmus = h.iter().filter(|i| i.op == reunion_isa::Opcode::MmuOp).count();
+        let traps = h
+            .iter()
+            .filter(|i| i.op == reunion_isa::Opcode::Trap)
+            .count();
+        let mmus = h
+            .iter()
+            .filter(|i| i.op == reunion_isa::Opcode::MmuOp)
+            .count();
         assert_eq!(traps, 2);
         assert_eq!(mmus, 3);
     }

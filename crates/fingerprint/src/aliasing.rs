@@ -57,7 +57,14 @@ pub fn estimate_two_stage(n: u32, cycles: usize, trials: u64, seed: u64) -> Alia
     let mut aliased = 0;
     for _ in 0..trials {
         let stream: Vec<[u64; 4]> = (0..cycles)
-            .map(|_| [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()])
+            .map(|_| {
+                [
+                    rng.next_u64(),
+                    rng.next_u64(),
+                    rng.next_u64(),
+                    rng.next_u64(),
+                ]
+            })
             .collect();
 
         let mut reference = TwoStageCompressor::new(n);
@@ -122,7 +129,10 @@ mod tests {
 
     #[test]
     fn probability_degenerate() {
-        let est = AliasingEstimate { trials: 0, aliased: 0 };
+        let est = AliasingEstimate {
+            trials: 0,
+            aliased: 0,
+        };
         assert_eq!(est.probability(), 0.0);
     }
 

@@ -32,18 +32,31 @@ impl Crc {
     /// Panics if `width` is zero or greater than 32.
     pub fn new(width: u32, polynomial: u32, init: u32) -> Self {
         assert!((1..=32).contains(&width), "CRC width must be in 1..=32");
-        let mask: u32 = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        let mask: u32 = if width == 32 {
+            u32::MAX
+        } else {
+            (1 << width) - 1
+        };
         let top: u32 = 1 << (width - 1);
         let mut table = vec![0u32; 256];
         for (byte, slot) in table.iter_mut().enumerate() {
             // MSB-first update over one input byte.
             let mut reg = (byte as u32) << (width.saturating_sub(8));
             for _ in 0..8 {
-                reg = if reg & top != 0 { (reg << 1) ^ polynomial } else { reg << 1 };
+                reg = if reg & top != 0 {
+                    (reg << 1) ^ polynomial
+                } else {
+                    reg << 1
+                };
             }
             *slot = reg & mask;
         }
-        Crc { width, table, state: init & mask, init: init & mask }
+        Crc {
+            width,
+            table,
+            state: init & mask,
+            init: init & mask,
+        }
     }
 
     /// The standard 16-bit CCITT CRC used throughout the paper's analysis.

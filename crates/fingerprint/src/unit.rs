@@ -22,7 +22,11 @@ pub struct Fingerprint {
 
 impl fmt::Display for Fingerprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fp#{}[{} insts]={:#06x}", self.interval_id, self.count, self.hash)
+        write!(
+            f,
+            "fp#{}[{} insts]={:#06x}",
+            self.interval_id, self.count, self.hash
+        )
     }
 }
 
@@ -53,17 +57,27 @@ pub struct UpdateRecord {
 impl UpdateRecord {
     /// A register update.
     pub fn reg(index: u8, value: u64) -> Self {
-        UpdateRecord { reg: Some((index, value)), ..Default::default() }
+        UpdateRecord {
+            reg: Some((index, value)),
+            ..Default::default()
+        }
     }
 
     /// A store of `data` to `addr`.
     pub fn store(addr: u64, data: u64) -> Self {
-        UpdateRecord { addr: Some(addr), data: Some(data), ..Default::default() }
+        UpdateRecord {
+            addr: Some(addr),
+            data: Some(data),
+            ..Default::default()
+        }
     }
 
     /// A branch resolving to `target`.
     pub fn branch(target: u64) -> Self {
-        UpdateRecord { target: Some(target), ..Default::default() }
+        UpdateRecord {
+            target: Some(target),
+            ..Default::default()
+        }
     }
 
     /// A load: register update plus the accessed address.
@@ -72,7 +86,11 @@ impl UpdateRecord {
     /// path; relaxed input replication checks it implicitly because both
     /// cores compute it independently.
     pub fn load(index: u8, value: u64, addr: u64) -> Self {
-        UpdateRecord { reg: Some((index, value)), addr: Some(addr), ..Default::default() }
+        UpdateRecord {
+            reg: Some((index, value)),
+            addr: Some(addr),
+            ..Default::default()
+        }
     }
 
     /// Whether the record carries no architectural payload (e.g. a nop).
@@ -241,7 +259,11 @@ mod tests {
         let mut b = FingerprintUnit::new(16);
         a.absorb(&UpdateRecord::load(1, 7, 0x100));
         b.absorb(&UpdateRecord::load(1, 7, 0x108));
-        assert_ne!(a.emit().hash, b.emit().hash, "address divergence must be visible");
+        assert_ne!(
+            a.emit().hash,
+            b.emit().hash,
+            "address divergence must be visible"
+        );
     }
 
     #[test]
@@ -252,7 +274,11 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let fp = Fingerprint { interval_id: 3, count: 2, hash: 0xAB };
+        let fp = Fingerprint {
+            interval_id: 3,
+            count: 2,
+            hash: 0xAB,
+        };
         assert!(fp.to_string().contains("fp#3"));
     }
 

@@ -227,7 +227,11 @@ impl FunctionalCore {
 
     /// Creates a core starting from an existing architectural state.
     pub fn from_state(state: ArchState) -> Self {
-        FunctionalCore { state, retired: 0, halted: false }
+        FunctionalCore {
+            state,
+            retired: 0,
+            halted: false,
+        }
     }
 
     /// Whether the core has executed a `halt`.
@@ -317,7 +321,12 @@ pub fn execute(
             let new = atomic_update(op, old, operand);
             mem.store(addr, new);
             state.regs.write(dst, old);
-            StepEffect::Atomic { dst, addr, old, new }
+            StepEffect::Atomic {
+                dst,
+                addr,
+                old,
+                new,
+            }
         }
         Opcode::Branch(cond) => {
             let value = match inst.src1 {
@@ -332,7 +341,9 @@ pub fn execute(
         }
         Opcode::Membar => StepEffect::Membar,
         Opcode::Trap => StepEffect::Trap,
-        Opcode::MmuOp => StepEffect::MmuOp { offset: inst.imm as u64 },
+        Opcode::MmuOp => StepEffect::MmuOp {
+            offset: inst.imm as u64,
+        },
     };
     state.pc = next_pc;
     effect
@@ -341,7 +352,9 @@ pub fn execute(
 /// Word-aligned effective address of a memory instruction.
 #[inline]
 pub fn effective_address(inst: &Instruction, state: &ArchState) -> Addr {
-    let base = state.regs.read(inst.src1.expect("memory op has base register"));
+    let base = state
+        .regs
+        .read(inst.src1.expect("memory op has base register"));
     Addr::new((base as i64).wrapping_add(inst.imm) as u64).word()
 }
 
@@ -462,14 +475,24 @@ mod tests {
     fn branch_effects_report_next_pc() {
         let prog = Program::new(
             "br",
-            vec![I::load_imm(r(1), 0), I::branch(BranchCond::Eqz, r(1), 0), I::halt()],
+            vec![
+                I::load_imm(r(1), 0),
+                I::branch(BranchCond::Eqz, r(1), 0),
+                I::halt(),
+            ],
         )
         .unwrap();
         let mut mem = SparseMemory::new();
         let mut core = FunctionalCore::new();
         core.step(&prog, &mut mem);
         let eff = core.step(&prog, &mut mem).unwrap();
-        assert_eq!(eff, StepEffect::Branch { taken: true, next_pc: 0 });
+        assert_eq!(
+            eff,
+            StepEffect::Branch {
+                taken: true,
+                next_pc: 0
+            }
+        );
         assert_eq!(core.state.pc, 0);
     }
 
@@ -517,7 +540,10 @@ mod tests {
         let mut core = FunctionalCore::new();
         assert_eq!(core.step(&prog, &mut mem), Some(StepEffect::Membar));
         assert_eq!(core.step(&prog, &mut mem), Some(StepEffect::Trap));
-        assert_eq!(core.step(&prog, &mut mem), Some(StepEffect::MmuOp { offset: 0x18 }));
+        assert_eq!(
+            core.step(&prog, &mut mem),
+            Some(StepEffect::MmuOp { offset: 0x18 })
+        );
         assert_eq!(core.step(&prog, &mut mem), None);
     }
 

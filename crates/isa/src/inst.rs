@@ -157,27 +157,57 @@ pub struct Instruction {
 impl Instruction {
     /// A no-op.
     pub fn nop() -> Self {
-        Instruction { op: Opcode::Nop, dst: None, src1: None, src2: None, imm: 0 }
+        Instruction {
+            op: Opcode::Nop,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+        }
     }
 
     /// Stops execution (functional interpreter returns `None`).
     pub fn halt() -> Self {
-        Instruction { op: Opcode::Halt, dst: None, src1: None, src2: None, imm: 0 }
+        Instruction {
+            op: Opcode::Halt,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+        }
     }
 
     /// `dst = imm`.
     pub fn load_imm(dst: RegId, imm: i64) -> Self {
-        Instruction { op: Opcode::LoadImm, dst: Some(dst), src1: None, src2: None, imm }
+        Instruction {
+            op: Opcode::LoadImm,
+            dst: Some(dst),
+            src1: None,
+            src2: None,
+            imm,
+        }
     }
 
     /// Register/register ALU operation: `dst = a <op> b`.
     pub fn alu(op: AluOp, dst: RegId, a: RegId, b: RegId) -> Self {
-        Instruction { op: Opcode::Alu(op), dst: Some(dst), src1: Some(a), src2: Some(b), imm: 0 }
+        Instruction {
+            op: Opcode::Alu(op),
+            dst: Some(dst),
+            src1: Some(a),
+            src2: Some(b),
+            imm: 0,
+        }
     }
 
     /// Register/immediate ALU operation: `dst = a <op> imm`.
     pub fn alu_imm(op: AluOp, dst: RegId, a: RegId, imm: i64) -> Self {
-        Instruction { op: Opcode::Alu(op), dst: Some(dst), src1: Some(a), src2: None, imm }
+        Instruction {
+            op: Opcode::Alu(op),
+            dst: Some(dst),
+            src1: Some(a),
+            src2: None,
+            imm,
+        }
     }
 
     /// `dst = a + imm`, the most common generator idiom.
@@ -187,12 +217,24 @@ impl Instruction {
 
     /// 8-byte load: `dst = M[base + disp]`.
     pub fn load(dst: RegId, base: RegId, disp: i64) -> Self {
-        Instruction { op: Opcode::Load, dst: Some(dst), src1: Some(base), src2: None, imm: disp }
+        Instruction {
+            op: Opcode::Load,
+            dst: Some(dst),
+            src1: Some(base),
+            src2: None,
+            imm: disp,
+        }
     }
 
     /// 8-byte store: `M[base + disp] = value`.
     pub fn store(base: RegId, value: RegId, disp: i64) -> Self {
-        Instruction { op: Opcode::Store, dst: None, src1: Some(base), src2: Some(value), imm: disp }
+        Instruction {
+            op: Opcode::Store,
+            dst: None,
+            src1: Some(base),
+            src2: Some(value),
+            imm: disp,
+        }
     }
 
     /// Conditional branch on `cond(reg)` to absolute PC `target`.
@@ -231,12 +273,24 @@ impl Instruction {
 
     /// Memory barrier.
     pub fn membar() -> Self {
-        Instruction { op: Opcode::Membar, dst: None, src1: None, src2: None, imm: 0 }
+        Instruction {
+            op: Opcode::Membar,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+        }
     }
 
     /// System trap.
     pub fn trap() -> Self {
-        Instruction { op: Opcode::Trap, dst: None, src1: None, src2: None, imm: 0 }
+        Instruction {
+            op: Opcode::Trap,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+        }
     }
 
     /// Non-idempotent MMU access at MMU-space offset `reg_offset`.
@@ -278,7 +332,14 @@ impl fmt::Display for Instruction {
                 if let Some(b) = self.src2 {
                     write!(f, "{:?} {}, {}, {}", op, r(self.dst), r(self.src1), b)
                 } else {
-                    write!(f, "{:?}i {}, {}, {}", op, r(self.dst), r(self.src1), self.imm)
+                    write!(
+                        f,
+                        "{:?}i {}, {}, {}",
+                        op,
+                        r(self.dst),
+                        r(self.src1),
+                        self.imm
+                    )
                 }
             }
             Opcode::Load => write!(f, "ld {}, [{} + {}]", r(self.dst), r(self.src1), self.imm),
@@ -368,7 +429,13 @@ mod tests {
             Instruction::load(RegId::new(1), RegId::new(2), 0),
             Instruction::store(RegId::new(1), RegId::new(2), 0),
             Instruction::branch(BranchCond::Eqz, RegId::new(1), 3),
-            Instruction::atomic(AtomicOp::Swap, RegId::new(1), RegId::new(2), RegId::new(3), 0),
+            Instruction::atomic(
+                AtomicOp::Swap,
+                RegId::new(1),
+                RegId::new(2),
+                RegId::new(3),
+                0,
+            ),
             Instruction::membar(),
             Instruction::trap(),
             Instruction::mmu_op(0x10),

@@ -102,7 +102,11 @@ impl Program {
                 }
             }
         }
-        Ok(Program { name: name.into(), code, entry })
+        Ok(Program {
+            name: name.into(),
+            code,
+            entry,
+        })
     }
 
     /// The program's name.
@@ -145,7 +149,12 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "; program {} ({} instructions)", self.name, self.code.len())?;
+        writeln!(
+            f,
+            "; program {} ({} instructions)",
+            self.name,
+            self.code.len()
+        )?;
         for (pc, inst) in self.code.iter().enumerate() {
             writeln!(f, "{pc:6}: {inst}")?;
         }

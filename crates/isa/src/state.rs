@@ -35,7 +35,10 @@ pub struct ArchState {
 impl ArchState {
     /// Creates zeroed state starting at `entry`.
     pub fn new(entry: usize) -> Self {
-        ArchState { regs: RegFile::new(), pc: entry }
+        ArchState {
+            regs: RegFile::new(),
+            pc: entry,
+        }
     }
 
     /// Restores this state from a checkpoint.

@@ -1,7 +1,7 @@
 //! Cycle-indexed delivery queues.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::Cycle;
 
@@ -54,14 +54,20 @@ impl<T> Ord for Entry<T> {
 impl<T> DelayQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        DelayQueue { heap: BinaryHeap::new(), seq: 0 }
+        DelayQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `item` for delivery at cycle `when`.
     pub fn push_at(&mut self, when: Cycle, item: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { key: Reverse((when.as_u64(), seq)), item });
+        self.heap.push(Entry {
+            key: Reverse((when.as_u64(), seq)),
+            item,
+        });
     }
 
     /// Pops the next item whose delivery time is `<= now`, if any.

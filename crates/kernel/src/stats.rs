@@ -242,7 +242,13 @@ impl RunningStats {
 
 impl fmt::Display for RunningStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "mean={:.4} ±{:.4} (n={})", self.mean(), self.ci95_half_width(), self.n)
+        write!(
+            f,
+            "mean={:.4} ±{:.4} (n={})",
+            self.mean(),
+            self.ci95_half_width(),
+            self.n
+        )
     }
 }
 

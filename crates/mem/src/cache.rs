@@ -42,12 +42,20 @@ impl<S> CacheArray<S> {
     /// Panics if `lines` is not a positive multiple of `assoc`, or if the
     /// resulting set count is not a power of two.
     pub fn new(lines: usize, assoc: usize) -> Self {
-        assert!(assoc > 0 && lines > 0 && lines % assoc == 0, "bad cache shape");
+        assert!(
+            assoc > 0 && lines > 0 && lines % assoc == 0,
+            "bad cache shape"
+        );
         let sets = lines / assoc;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         let mut ways = Vec::with_capacity(lines);
         ways.resize_with(lines, || None);
-        CacheArray { ways, assoc, sets, tick: 0 }
+        CacheArray {
+            ways,
+            assoc,
+            sets,
+            tick: 0,
+        }
     }
 
     /// Number of sets.
@@ -121,7 +129,11 @@ impl<S> CacheArray<S> {
 
         // Free way?
         if let Some(slot) = self.ways[range.clone()].iter_mut().find(|w| w.is_none()) {
-            *slot = Some(Way { line, state, last_use: tick });
+            *slot = Some(Way {
+                line,
+                state,
+                last_use: tick,
+            });
             return None;
         }
 
@@ -136,7 +148,11 @@ impl<S> CacheArray<S> {
             range.start + rel
         };
         let old = self.ways[victim_idx]
-            .replace(Way { line, state, last_use: tick })
+            .replace(Way {
+                line,
+                state,
+                last_use: tick,
+            })
             .expect("victim way was full");
         Some((old.line, old.state))
     }

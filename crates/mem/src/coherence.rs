@@ -154,7 +154,9 @@ impl DirEntry {
     /// Iterates over all sharers except `except`.
     pub fn sharers_except(&self, except: L1Id) -> impl Iterator<Item = L1Id> + '_ {
         let mask = self.sharers & !(1 << except.0);
-        (0..32u32).filter(move |i| mask & (1 << i) != 0).map(|i| L1Id(i as usize))
+        (0..32u32)
+            .filter(move |i| mask & (1 << i) != 0)
+            .map(|i| L1Id(i as usize))
     }
 
     /// Number of sharers.

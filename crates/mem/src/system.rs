@@ -219,8 +219,7 @@ impl MemorySystem {
             let ready = bank_start + self.cfg.l2_hit_latency + self.cfg.dram_latency;
             if let Some((victim_line, victim_dir)) = self.l2.tags.insert(line, DirEntry::new()) {
                 // Inclusive L2: back-invalidate vocal L1 copies of the victim.
-                let sharers: Vec<L1Id> =
-                    victim_dir.sharers_except(L1Id(usize::MAX & 31)).collect();
+                let sharers: Vec<L1Id> = victim_dir.sharers_except(L1Id(usize::MAX & 31)).collect();
                 for s in sharers {
                     if let Some(state) = self.l1s[s.0].tags.invalidate(victim_line) {
                         if state == MesiState::Modified {
@@ -320,7 +319,11 @@ impl MemorySystem {
             .peek(line)
             .map(|d| d.sharer_count() <= 1)
             .unwrap_or(true);
-        let state = if alone { MesiState::Exclusive } else { MesiState::Shared };
+        let state = if alone {
+            MesiState::Exclusive
+        } else {
+            MesiState::Shared
+        };
         self.l1_fill(idx, line, state);
         self.l1s[idx].outstanding.push(ready);
 
@@ -363,7 +366,12 @@ impl MemorySystem {
             PhantomStrength::Null => {
                 // Arbitrary data on any L1 miss; no hierarchy search.
                 let words = Self::garbage_line_words(line, self.epoch);
-                (words, now + self.cfg.l1_hit_latency + self.cfg.crossbar_latency, false, true)
+                (
+                    words,
+                    now + self.cfg.l1_hit_latency + self.cfg.crossbar_latency,
+                    false,
+                    true,
+                )
             }
             PhantomStrength::Shared => {
                 let start = self.miss_start_time(idx, now);
@@ -600,8 +608,18 @@ impl MemorySystem {
     /// recomputed against the *current* coherent value so a concurrent
     /// writer in the read-to-commit window is not lost (swaps write the
     /// operand either way; fetch-add increments compose).
-    pub fn atomic_commit(&mut self, l1: L1Id, addr: Addr, op: AtomicOp, operand: u64, old_read: u64) {
-        debug_assert!(!self.l1s[l1.0].owner.is_mute(), "mute atomics commit privately");
+    pub fn atomic_commit(
+        &mut self,
+        l1: L1Id,
+        addr: Addr,
+        op: AtomicOp,
+        operand: u64,
+        old_read: u64,
+    ) {
+        debug_assert!(
+            !self.l1s[l1.0].owner.is_mute(),
+            "mute atomics commit privately"
+        );
         if reunion_isa::atomic_update(op, old_read, operand) == old_read {
             return;
         }
@@ -672,8 +690,14 @@ impl MemorySystem {
         addr: Addr,
         rmw: Option<(AtomicOp, u64)>,
     ) -> SyncOutcome {
-        assert!(!self.l1s[vocal.0].owner.is_mute(), "sync: vocal handle is a mute cache");
-        assert!(self.l1s[mute.0].owner.is_mute(), "sync: mute handle is a vocal cache");
+        assert!(
+            !self.l1s[vocal.0].owner.is_mute(),
+            "sync: vocal handle is a mute cache"
+        );
+        assert!(
+            self.l1s[mute.0].owner.is_mute(),
+            "sync: mute handle is a vocal cache"
+        );
         self.stats.sync_requests.incr();
         let line = addr.line_index();
 
@@ -724,7 +748,10 @@ impl MemorySystem {
         self.l1_fill(mute.0, line, MesiState::Exclusive);
         self.l1s[mute.0].mute_data.insert(line, words);
 
-        SyncOutcome { value: old, done_at: Cycle::new(ready) }
+        SyncOutcome {
+            value: old,
+            done_at: Cycle::new(ready),
+        }
     }
 
     /// Reverts a speculatively-applied atomic: restores `old` at `addr`
@@ -803,7 +830,10 @@ mod tests {
         mem.load(Cycle::ZERO, v1, a, PhantomStrength::Global);
         assert!(mem.l1_contains(v0, a));
         mem.drain_store(Cycle::new(50), v1, a, 1);
-        assert!(!mem.l1_contains(v0, a), "v0 must be invalidated by v1's write");
+        assert!(
+            !mem.l1_contains(v0, a),
+            "v0 must be invalidated by v1's write"
+        );
         assert!(mem.stats().invalidations.value() >= 1);
     }
 
@@ -845,7 +875,10 @@ mod tests {
         mem.poke(a, 5);
         let ld = mem.load(Cycle::ZERO, m0, a, PhantomStrength::Null);
         assert!(ld.incoherent_fill);
-        assert_ne!(ld.value, 5, "null phantom must not search for coherent data");
+        assert_ne!(
+            ld.value, 5,
+            "null phantom must not search for coherent data"
+        );
         assert_eq!(mem.stats().phantom_garbage_fills.value(), 1);
     }
 
@@ -873,7 +906,11 @@ mod tests {
         let a = Addr::new(0x9000);
         mem.poke(a, 1);
         mem.drain_store(Cycle::ZERO, m0, a, 1234);
-        assert_eq!(mem.peek_coherent(a), 1, "mute store must not reach the image");
+        assert_eq!(
+            mem.peek_coherent(a),
+            1,
+            "mute store must not reach the image"
+        );
         let ld = mem.load(Cycle::new(600), m0, a, PhantomStrength::Global);
         assert_eq!(ld.value, 1234, "mute sees its own store");
     }
@@ -883,7 +920,14 @@ mod tests {
         let (mut mem, v0, ..) = two_pair_system();
         let a = Addr::new(0xA000);
         mem.poke(a, 0);
-        let acc = mem.atomic_read(Cycle::ZERO, v0, a, AtomicOp::Swap, 1, PhantomStrength::Global);
+        let acc = mem.atomic_read(
+            Cycle::ZERO,
+            v0,
+            a,
+            AtomicOp::Swap,
+            1,
+            PhantomStrength::Global,
+        );
         assert_eq!(acc.value, 0);
         // Not visible until the commit half (post-comparison retirement).
         assert_eq!(mem.peek_coherent(a), 0);
@@ -896,13 +940,23 @@ mod tests {
         let (mut mem, v0, _, v1, _) = two_pair_system();
         let a = Addr::new(0xA100);
         mem.poke(a, 10);
-        let acc =
-            mem.atomic_read(Cycle::ZERO, v0, a, AtomicOp::FetchAdd, 5, PhantomStrength::Global);
+        let acc = mem.atomic_read(
+            Cycle::ZERO,
+            v0,
+            a,
+            AtomicOp::FetchAdd,
+            5,
+            PhantomStrength::Global,
+        );
         assert_eq!(acc.value, 10);
         // A remote writer slips into the read-to-commit window.
         mem.drain_store(Cycle::new(3), v1, a, 100);
         mem.atomic_commit(v0, a, AtomicOp::FetchAdd, 5, 10);
-        assert_eq!(mem.peek_coherent(a), 105, "increment must not lose the remote write");
+        assert_eq!(
+            mem.peek_coherent(a),
+            105,
+            "increment must not lose the remote write"
+        );
     }
 
     #[test]
@@ -968,7 +1022,10 @@ mod tests {
         let b = Addr::new(0x10_000 + banks * reunion_isa::LINE_BYTES);
         let first = mem.load(Cycle::ZERO, v0, a, PhantomStrength::Global);
         let second = mem.load(Cycle::ZERO, v1, b, PhantomStrength::Global);
-        assert!(second.done_at > first.done_at, "same-bank requests must serialize");
+        assert!(
+            second.done_at > first.done_at,
+            "same-bank requests must serialize"
+        );
     }
 
     #[test]
@@ -997,7 +1054,12 @@ mod tests {
         // Fill one set beyond associativity.
         for i in 0..=cfg.l1_assoc {
             let addr = Addr::new((i * sets) as u64 * reunion_isa::LINE_BYTES);
-            mem.load(Cycle::new(i as u64 * 1000), v0, addr, PhantomStrength::Global);
+            mem.load(
+                Cycle::new(i as u64 * 1000),
+                v0,
+                addr,
+                PhantomStrength::Global,
+            );
         }
         let first = Addr::new(0);
         assert!(!mem.l1_contains(v0, first), "LRU line must be evicted");

@@ -178,9 +178,17 @@ impl GridBuilder {
     /// Panics if any axis is empty or two patches share a label (labels are
     /// the lookup key within a report).
     pub fn build(self) -> ExperimentGrid {
-        assert!(!self.workloads.is_empty(), "grid {:?} has no workloads", self.id);
+        assert!(
+            !self.workloads.is_empty(),
+            "grid {:?} has no workloads",
+            self.id
+        );
         assert!(!self.modes.is_empty(), "grid {:?} has no modes", self.id);
-        assert!(!self.patches.is_empty(), "grid {:?} has no patches", self.id);
+        assert!(
+            !self.patches.is_empty(),
+            "grid {:?} has no patches",
+            self.id
+        );
         for (i, a) in self.patches.iter().enumerate() {
             for b in &self.patches[..i] {
                 assert!(
@@ -191,9 +199,8 @@ impl GridBuilder {
                 );
             }
         }
-        let mut cells = Vec::with_capacity(
-            self.workloads.len() * self.modes.len() * self.patches.len(),
-        );
+        let mut cells =
+            Vec::with_capacity(self.workloads.len() * self.modes.len() * self.patches.len());
         for workload in &self.workloads {
             for &mode in &self.modes {
                 for patch in &self.patches {
@@ -268,7 +275,10 @@ mod tests {
     fn duplicate_patch_labels_rejected() {
         ExperimentGrid::builder("t", "t")
             .workloads(two_workloads())
-            .patches(vec![ConfigPatch::new("x"), ConfigPatch::new("x").latency(1)])
+            .patches(vec![
+                ConfigPatch::new("x"),
+                ConfigPatch::new("x").latency(1),
+            ])
             .build();
     }
 }

@@ -1,4 +1,4 @@
-//! A minimal, dependency-free JSON emitter.
+//! A minimal, dependency-free JSON emitter and parser.
 //!
 //! The build container has no network access, so `serde_json` is not
 //! available; the report serializer only needs to *write* JSON, and only a
@@ -6,7 +6,13 @@
 //! deterministic (insertion order, fixed indentation, shortest round-trip
 //! float formatting), which the parallel-vs-serial determinism guard in
 //! [`crate::runner`] relies on.
+//!
+//! The matching [`parse_json`] reader exists for the bench-trajectory
+//! regression tooling (`compare_trajectory`), which must re-load
+//! `BENCH_<id>.json` artifacts and compare them against checked-in
+//! baselines.
 
+use std::fmt;
 use std::fmt::Write as _;
 
 /// Streaming JSON writer with two-space pretty printing.
@@ -160,6 +166,275 @@ impl JsonWriter {
     }
 }
 
+/// A parsed JSON value.
+///
+/// Objects preserve key order (the writer's order is deterministic, and
+/// trajectory comparison reports drift in a stable order because of it).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also produced by the writer for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; parsed as `f64`, which losslessly covers every value the
+    /// report writer emits (counters fit in 53 bits at any realistic scale).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse error with a byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses a JSON document (the subset the writer emits, plus booleans).
+///
+/// # Errors
+///
+/// Returns [`JsonParseError`] on malformed input or trailing garbage.
+pub fn parse_json(input: &str) -> Result<JsonValue, JsonParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonParseError {
+            at: pos,
+            message: "trailing characters",
+        });
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8, message: &'static str) -> Result<(), JsonParseError> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonParseError { at: *pos, message })
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonParseError {
+            at: *pos,
+            message: "unexpected end of input",
+        }),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_literal(
+    b: &[u8],
+    pos: &mut usize,
+    lit: &'static str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonParseError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonParseError {
+            at: *pos,
+            message: "invalid literal",
+        })
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    expect(b, pos, b'{', "expected '{'")?;
+    let mut pairs = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(pairs));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':', "expected ':' after object key")?;
+        let value = parse_value(b, pos)?;
+        pairs.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(pairs));
+            }
+            _ => {
+                return Err(JsonParseError {
+                    at: *pos,
+                    message: "expected ',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    expect(b, pos, b'[', "expected '['")?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => {
+                return Err(JsonParseError {
+                    at: *pos,
+                    message: "expected ',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonParseError> {
+    expect(b, pos, b'"', "expected '\"'")?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => {
+                return Err(JsonParseError {
+                    at: *pos,
+                    message: "unterminated string",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonParseError {
+                                at: *pos,
+                                message: "invalid \\u escape",
+                            })?;
+                        // Surrogate pairs never appear in report output;
+                        // lone surrogates map to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => {
+                        return Err(JsonParseError {
+                            at: *pos,
+                            message: "invalid escape",
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (multi-byte sequences included).
+                let start = *pos;
+                let s = std::str::from_utf8(&b[start..]).map_err(|_| JsonParseError {
+                    at: start,
+                    message: "invalid UTF-8",
+                })?;
+                let c = s.chars().next().expect("nonempty checked above");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii slice");
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| JsonParseError {
+            at: start,
+            message: "invalid number",
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +478,67 @@ mod tests {
         w.f64(0.25);
         w.end_array();
         assert_eq!(w.finish(), "[\n  null,\n  null,\n  0.25\n]");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("id", "fig5");
+        w.field_f64("ipc", 1.5);
+        w.field_u64("cycles", 42);
+        w.key("records");
+        w.begin_array();
+        w.begin_object();
+        w.field_str("name", "a\"b\\c\n");
+        w.field_f64("nanish", f64::NAN);
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        let text = w.finish();
+        let v = parse_json(&text).unwrap();
+        assert_eq!(v.get("id").and_then(JsonValue::as_str), Some("fig5"));
+        assert_eq!(v.get("ipc").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(v.get("cycles").and_then(JsonValue::as_f64), Some(42.0));
+        let records = match v.get("records") {
+            Some(JsonValue::Array(items)) => items,
+            other => panic!("records must be an array, got {other:?}"),
+        };
+        assert_eq!(
+            records[0].get("name").and_then(JsonValue::as_str),
+            Some("a\"b\\c\n")
+        );
+        assert_eq!(records[0].get("nanish"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn parser_handles_literals_and_numbers() {
+        let v = parse_json(" [true, false, null, -2.5e3, 0] ").unwrap();
+        assert_eq!(
+            v,
+            JsonValue::Array(vec![
+                JsonValue::Bool(true),
+                JsonValue::Bool(false),
+                JsonValue::Null,
+                JsonValue::Num(-2500.0),
+                JsonValue::Num(0.0),
+            ])
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("12 34").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escape_parses() {
+        assert_eq!(
+            parse_json("\"a\\u0041\"").unwrap(),
+            JsonValue::Str("aA".to_string())
+        );
     }
 }

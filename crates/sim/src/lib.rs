@@ -60,7 +60,7 @@ mod report;
 mod runner;
 
 pub use grid::{Cell, ExperimentGrid, GridBuilder, Metric};
-pub use json::JsonWriter;
+pub use json::{parse_json, JsonParseError, JsonValue, JsonWriter};
 pub use patch::ConfigPatch;
 pub use report::{
     ExperimentReport, MeasureSummary, NormalizedSummary, Outcome, RunRecord, StaticSummary,

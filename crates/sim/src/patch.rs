@@ -39,7 +39,10 @@ pub struct ConfigPatch {
 impl ConfigPatch {
     /// An empty patch with the given label.
     pub fn new(label: impl Into<String>) -> Self {
-        ConfigPatch { label: label.into(), ..ConfigPatch::default() }
+        ConfigPatch {
+            label: label.into(),
+            ..ConfigPatch::default()
+        }
     }
 
     /// The conventional "change nothing" patch used by single-point grids.

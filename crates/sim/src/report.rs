@@ -19,8 +19,11 @@ pub struct MeasureSummary {
     pub user_instructions: u64,
     /// Simulated cycles over all windows.
     pub cycles: u64,
-    /// Fingerprint mismatches (input incoherence + injected errors).
+    /// Fingerprint mismatches (including in-recovery escalations).
     pub mismatches: u64,
+    /// Measured input-incoherence events (mismatches first detected during
+    /// normal paired execution).
+    pub input_incoherence: u64,
     /// Recovery protocol invocations.
     pub recoveries: u64,
     /// Phase-two (architectural register copy) recoveries.
@@ -33,6 +36,10 @@ pub struct MeasureSummary {
     pub tlb_misses: u64,
     /// Phantom fills that returned garbage data.
     pub phantom_garbage_fills: u64,
+    /// Cycles retirement stalled on serializing check round trips.
+    pub serializing_stall_cycles: u64,
+    /// Check round-trip cycles charged during re-executions.
+    pub reexec_penalty_cycles: u64,
     /// Input-incoherence events per million user instructions (Table 3).
     pub incoherence_per_million: f64,
     /// TLB misses per million user instructions (Table 3).
@@ -47,12 +54,15 @@ impl From<&Measurement> for MeasureSummary {
             user_instructions: m.totals.user_instructions,
             cycles: m.totals.cycles,
             mismatches: m.totals.mismatches,
+            input_incoherence: m.totals.input_incoherence,
             recoveries: m.totals.recoveries,
             phase2: m.totals.phase2,
             failures: m.totals.failures,
             sync_requests: m.totals.sync_requests,
             tlb_misses: m.totals.tlb_misses,
             phantom_garbage_fills: m.totals.phantom_garbage_fills,
+            serializing_stall_cycles: m.totals.serializing_stall_cycles,
+            reexec_penalty_cycles: m.totals.reexec_penalty_cycles,
             incoherence_per_million: m.incoherence_per_million(),
             tlb_misses_per_million: m.tlb_misses_per_million(),
         }
@@ -67,12 +77,15 @@ impl MeasureSummary {
         w.field_u64("user_instructions", self.user_instructions);
         w.field_u64("cycles", self.cycles);
         w.field_u64("mismatches", self.mismatches);
+        w.field_u64("input_incoherence", self.input_incoherence);
         w.field_u64("recoveries", self.recoveries);
         w.field_u64("phase2", self.phase2);
         w.field_u64("failures", self.failures);
         w.field_u64("sync_requests", self.sync_requests);
         w.field_u64("tlb_misses", self.tlb_misses);
         w.field_u64("phantom_garbage_fills", self.phantom_garbage_fills);
+        w.field_u64("serializing_stall_cycles", self.serializing_stall_cycles);
+        w.field_u64("reexec_penalty_cycles", self.reexec_penalty_cycles);
         w.field_f64("incoherence_per_million", self.incoherence_per_million);
         w.field_f64("tlb_misses_per_million", self.tlb_misses_per_million);
         w.end_object();
@@ -358,12 +371,15 @@ mod tests {
             user_instructions: 0,
             cycles: 0,
             mismatches: 0,
+            input_incoherence: 0,
             recoveries: 0,
             phase2: 0,
             failures: 0,
             sync_requests: 0,
             tlb_misses: 0,
             phantom_garbage_fills: 0,
+            serializing_stall_cycles: 0,
+            reexec_penalty_cycles: 0,
             incoherence_per_million: 0.0,
             tlb_misses_per_million: 0.0,
         }
@@ -386,7 +402,9 @@ mod tests {
     fn lookup_by_cell_key() {
         let r = report();
         assert_eq!(
-            r.get("db2", ExecutionMode::Strict, "base").unwrap().normalized_ipc(),
+            r.get("db2", ExecutionMode::Strict, "base")
+                .unwrap()
+                .normalized_ipc(),
             Some(0.95)
         );
         assert!(r.get("db2", ExecutionMode::NonRedundant, "base").is_none());

@@ -45,7 +45,9 @@ impl Runner {
         if env_flag("REUNION_SERIAL") {
             return Runner::serial();
         }
-        let default_threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        let default_threads = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
         let threads = std::env::var("REUNION_THREADS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
@@ -100,12 +102,18 @@ impl Runner {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
                     let record = run_cell(grid, cell);
-                    done.lock().expect("worker panicked holding lock").push((i, record));
+                    done.lock()
+                        .expect("worker panicked holding lock")
+                        .push((i, record));
                 });
             }
         });
         let mut indexed = done.into_inner().expect("worker panicked holding lock");
-        assert_eq!(indexed.len(), cells.len(), "every cell must produce a record");
+        assert_eq!(
+            indexed.len(),
+            cells.len(),
+            "every cell must produce a record"
+        );
         indexed.sort_by_key(|(i, _)| *i);
         indexed.into_iter().map(|(_, r)| r).collect()
     }

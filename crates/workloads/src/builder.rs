@@ -28,7 +28,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Creates an empty builder.
     pub fn new(name: impl Into<String>) -> Self {
-        ProgramBuilder { name: name.into(), code: Vec::new() }
+        ProgramBuilder {
+            name: name.into(),
+            code: Vec::new(),
+        }
     }
 
     /// The PC the next pushed instruction will occupy.

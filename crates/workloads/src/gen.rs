@@ -29,14 +29,25 @@
 //! | r26 | unprotected shared-read cursor |
 //! | r27 | thread-affine shared-data slice base |
 //! | r28 | common shared-data slice base (globally locked sections) |
+//! | r25 | hot shared region base |
+//! | r29 | hot-region cursor |
+//! | r30 | writer flag (1 iff this thread is within the writer bound) |
+//! | r31 | own producer-consumer flag address |
+//! | r0  | neighbor producer-consumer flag address |
 
 use reunion_isa::{Addr, AluOp, AtomicOp, BranchCond, Instruction as I, Program, RegId};
 use reunion_kernel::SimRng;
 
-use crate::{ProgramBuilder, WorkloadSpec};
+use crate::{ProgramBuilder, SharingModel, WorkloadSpec};
 
 /// Base of the lock region (cache-line-separated spin locks).
 pub const LOCK_BASE: u64 = 0x0100_0000;
+/// Base of the hot truly-shared region (one word per cache line).
+pub const HOT_BASE: u64 = 0x0200_0000;
+/// Base of the producer-consumer flag lines (one per thread slot).
+pub const FLAG_BASE: u64 = 0x0300_0000;
+/// Number of producer-consumer flag slots (threads wrap modulo this).
+pub const FLAG_SLOTS: u64 = 4;
 /// Base of the shared data region.
 pub const SHARED_BASE: u64 = 0x1000_0000;
 /// Base of thread 0's private region; threads are spaced widely apart.
@@ -72,7 +83,10 @@ pub fn generate_program(spec: &WorkloadSpec, thread: usize) -> Program {
     // Cursor starting offsets are spread per thread so threads do not march
     // through shared data in lockstep.
     b.push(I::load_imm(r(4), (thread as i64 * 0x2218) & priv_mask & !7));
-    b.push(I::load_imm(r(5), (thread as i64 * 0xA6E8) & shared_mask & !7));
+    b.push(I::load_imm(
+        r(5),
+        (thread as i64 * 0xA6E8) & shared_mask & !7,
+    ));
     // Pointer-chase cursor starts at a thread-dependent ring position.
     let chase_start = SHARED_BASE + (((thread as u64 * 100_003) * 64) & (spec.shared_bytes - 1));
     b.push(I::load_imm(r(20), chase_start as i64));
@@ -81,8 +95,14 @@ pub fn generate_program(spec: &WorkloadSpec, thread: usize) -> Program {
     // a thread bank (real systems have many more latches than any one CPU
     // touches, so cross-CPU lock reuse is rare).
     let bank_bytes = spec.locks * 64;
-    b.push(I::load_imm(r(24), (LOCK_BASE + (16 + thread as u64) * bank_bytes) as i64));
-    b.push(I::load_imm(r(26), (thread as i64 * 0x1A48) & shared_mask & !7));
+    b.push(I::load_imm(
+        r(24),
+        (LOCK_BASE + (16 + thread as u64) * bank_bytes) as i64,
+    ));
+    b.push(I::load_imm(
+        r(26),
+        (thread as i64 * 0x1A48) & shared_mask & !7,
+    ));
     // Thread-affine critical sections update a per-thread slice of the
     // shared region (a latch protects specific pages); only critical
     // sections under the globally shared lock bank touch common data.
@@ -92,9 +112,24 @@ pub fn generate_program(spec: &WorkloadSpec, thread: usize) -> Program {
         (SHARED_BASE + thread as u64 * slice_bytes) as i64,
     ));
     // The common slice updated by globally locked critical sections.
+    b.push(I::load_imm(r(28), (SHARED_BASE + 31 * slice_bytes) as i64));
+    // Sharing model: hot region base/cursor, writer bound flag, and the
+    // producer-consumer flag addresses. Threads wrap modulo FLAG_SLOTS so
+    // the emitted code is identical across threads (only init constants
+    // differ).
+    let sharing = &spec.sharing;
+    let hot_mask = (sharing.hot_lines * 64 - 1) as i64;
+    b.push(I::load_imm(r(25), HOT_BASE as i64));
+    b.push(I::load_imm(r(29), (thread as i64 * 0x940) & hot_mask & !63));
     b.push(I::load_imm(
-        r(28),
-        (SHARED_BASE + 31 * slice_bytes) as i64,
+        r(30),
+        i64::from((thread as u32) < sharing.writers),
+    ));
+    let slot = thread as u64 % FLAG_SLOTS;
+    b.push(I::load_imm(r(31), (FLAG_BASE + slot * 64) as i64));
+    b.push(I::load_imm(
+        r(0),
+        (FLAG_BASE + ((slot + 1) % FLAG_SLOTS) * 64) as i64,
     ));
     for i in 10..20 {
         b.push(I::load_imm(r(i), (i as i64) * 0x1_2345 + 7));
@@ -111,6 +146,9 @@ pub fn generate_program(spec: &WorkloadSpec, thread: usize) -> Program {
         spec.trap_weight,
         spec.membar_weight,
         spec.chase_weight,
+        sharing.hot_weight,
+        sharing.migratory_weight,
+        sharing.producer_consumer_weight,
     ];
     for segment in 0..spec.segments {
         match rng.weighted_index(&weights) {
@@ -119,14 +157,37 @@ pub fn generate_program(spec: &WorkloadSpec, thread: usize) -> Program {
             2 => emit_shared_read(&mut b, spec, shared_mask),
             3 => {
                 let slice_mask = ((spec.shared_bytes / 32).max(8192) - 1) as i64;
-                let (bank, mask, data_base, data_mask) = if rng.chance(spec.lock_sharing) {
-                    // Globally locked sections update the dedicated common
-                    // slice (r28), not the thread slices.
-                    (r(3), spec.locks as i64 * 16 * 64 - 1, r(28), slice_mask)
+                if rng.chance(sharing.lock_contention) {
+                    // A contention burst: consecutive critical sections on a
+                    // small contended subset of the globally shared bank,
+                    // updating the dedicated common slice (r28). Runtime
+                    // collisions between threads are the point; the rarity
+                    // gate keeps bursts episodic rather than per-iteration.
+                    let contended_mask = sharing.contended_locks as i64 * 64 - 1;
+                    let rare = emit_rarity_gate(&mut b, &mut rng, sharing.contention_period);
+                    for _ in 0..sharing.burst_len {
+                        emit_critical_section(
+                            &mut b,
+                            &mut rng,
+                            spec,
+                            slice_mask,
+                            contended_mask,
+                            r(3),
+                            r(28),
+                        );
+                    }
+                    b.patch_to_here(rare);
                 } else {
-                    (r(24), lock_mask, r(27), slice_mask)
-                };
-                emit_critical_section(&mut b, &mut rng, spec, data_mask, mask, bank, data_base);
+                    emit_critical_section(
+                        &mut b,
+                        &mut rng,
+                        spec,
+                        slice_mask,
+                        lock_mask,
+                        r(24),
+                        r(27),
+                    );
+                }
             }
             4 => {
                 b.push(I::trap());
@@ -134,7 +195,10 @@ pub fn generate_program(spec: &WorkloadSpec, thread: usize) -> Program {
             5 => {
                 b.push(I::membar());
             }
-            _ => emit_chase_step(&mut b),
+            6 => emit_chase_step(&mut b),
+            7 => emit_hot_access(&mut b, &mut rng, sharing, hot_mask),
+            8 => emit_migratory(&mut b, &mut rng, sharing, hot_mask),
+            _ => emit_producer_consumer(&mut b, &mut rng, sharing),
         }
         // Periodic lightly-biased conditional branch for predictor work.
         if segment % 3 == 2 {
@@ -166,12 +230,7 @@ fn emit_compute(b: &mut ProgramBuilder, rng: &mut SimRng) {
 }
 
 /// Advance the private cursor and load or store through it.
-fn emit_private_access(
-    b: &mut ProgramBuilder,
-    rng: &mut SimRng,
-    spec: &WorkloadSpec,
-    mask: i64,
-) {
+fn emit_private_access(b: &mut ProgramBuilder, rng: &mut SimRng, spec: &WorkloadSpec, mask: i64) {
     let ops = rng.range(1, 4);
     for _ in 0..ops {
         let advance = if rng.chance(spec.jump_fraction) {
@@ -247,6 +306,85 @@ fn emit_chase_step(b: &mut ProgramBuilder) {
     b.push(I::load(r(20), r(20), 0));
 }
 
+/// Emits a dynamic rarity gate: execution falls through into the gated
+/// body roughly once per `period` loop iterations even though the body is
+/// a static part of the loop. Returns the branch to patch past the body.
+///
+/// The segment counter (r21) advances by a fixed stride per iteration, so
+/// its raw low bits cycle through only one residue class at any given
+/// segment; folding the high bits in with an XOR makes the gated value
+/// walk all residues and the random phase picks which iteration fires.
+fn emit_rarity_gate(b: &mut ProgramBuilder, rng: &mut SimRng, period: u64) -> usize {
+    let phase = rng.below(period) as i64;
+    b.push(I::alu_imm(AluOp::Shr, r(22), r(21), 5));
+    b.push(I::alu(AluOp::Xor, r(22), r(22), r(21)));
+    b.push(I::alu_imm(AluOp::And, r(22), r(22), period as i64 - 1));
+    b.push(I::alu_imm(AluOp::Xor, r(22), r(22), phase));
+    b.branch_forward(BranchCond::Nez, r(22))
+}
+
+/// A hot-region access: read the next hot line; rarely (rarity-gated, and
+/// only on threads inside the writer bound, r30) store an updated value
+/// back.
+///
+/// Remote stores to these truly shared lines leave mute caches holding
+/// stale snapshots — the paper's canonical input-incoherence source for
+/// unprotected reads.
+fn emit_hot_access(
+    b: &mut ProgramBuilder,
+    rng: &mut SimRng,
+    sharing: &SharingModel,
+    hot_mask: i64,
+) {
+    b.push(I::add_imm(r(29), r(29), 64));
+    b.push(I::alu_imm(AluOp::And, r(29), r(29), hot_mask));
+    b.push(I::alu(AluOp::Add, r(22), r(25), r(29)));
+    b.push(I::load(r(6), r(22), 0));
+    // Consume the value so divergence propagates into computation.
+    b.push(I::alu(AluOp::Xor, r(10), r(10), r(6)));
+    if rng.chance(sharing.hot_write_fraction) {
+        let rare = emit_rarity_gate(b, rng, sharing.write_period);
+        let skip = b.branch_forward(BranchCond::Eqz, r(30));
+        b.push(I::alu(AluOp::Add, r(22), r(25), r(29)));
+        b.push(I::add_imm(r(6), r(6), 1));
+        b.push(I::store(r(22), r(6), 0));
+        b.patch_to_here(rare);
+        b.patch_to_here(skip);
+    }
+}
+
+/// A migratory read-modify-write: the line index follows the evolving
+/// segment counter, so line ownership migrates between threads as their
+/// counters coincide. Stores are rarity-gated and bounded by the writer
+/// flag (r30).
+fn emit_migratory(b: &mut ProgramBuilder, rng: &mut SimRng, sharing: &SharingModel, hot_mask: i64) {
+    b.push(I::alu_imm(AluOp::Shl, r(22), r(21), 6));
+    b.push(I::alu_imm(AluOp::And, r(22), r(22), hot_mask));
+    b.push(I::alu(AluOp::Add, r(22), r(25), r(22)));
+    b.push(I::load(r(6), r(22), 0));
+    let rare = emit_rarity_gate(b, rng, sharing.write_period);
+    let skip = b.branch_forward(BranchCond::Eqz, r(30));
+    b.push(I::alu_imm(AluOp::Shl, r(22), r(21), 6));
+    b.push(I::alu_imm(AluOp::And, r(22), r(22), hot_mask));
+    b.push(I::alu(AluOp::Add, r(22), r(25), r(22)));
+    b.push(I::add_imm(r(6), r(6), 3));
+    b.push(I::store(r(22), r(6), 0));
+    b.patch_to_here(rare);
+    b.patch_to_here(skip);
+}
+
+/// A producer-consumer hand-off: rarely publish this thread's flag line,
+/// always poll the neighbor's. Each flag line has a single producer by
+/// construction, so the writer bound holds trivially.
+fn emit_producer_consumer(b: &mut ProgramBuilder, rng: &mut SimRng, sharing: &SharingModel) {
+    let rare = emit_rarity_gate(b, rng, sharing.write_period);
+    b.push(I::add_imm(r(6), r(6), 1));
+    b.push(I::store(r(31), r(6), 0));
+    b.patch_to_here(rare);
+    b.push(I::load(r(6), r(0), 0));
+    b.push(I::alu(AluOp::Xor, r(10), r(10), r(6)));
+}
+
 /// Initial memory contents required by the workload: the pointer-chase ring
 /// through the shared region (one pointer per cache line).
 ///
@@ -259,6 +397,10 @@ pub fn initial_memory(spec: &WorkloadSpec) -> Vec<(Addr, u64)> {
     let mut init: Vec<(Addr, u64)> = (0..spec.locks * (16 + 32))
         .map(|i| (Addr::new(LOCK_BASE + i * 64), 0))
         .collect();
+    // Hot shared lines and producer-consumer flags start at zero so reads
+    // observe defined data rather than the uninitialized-word hash.
+    init.extend((0..spec.sharing.hot_lines).map(|i| (Addr::new(HOT_BASE + i * 64), 0)));
+    init.extend((0..FLAG_SLOTS).map(|i| (Addr::new(FLAG_BASE + i * 64), 0)));
     if spec.chase_weight > 0.0 {
         let lines = spec.shared_bytes / 64;
         // A sequential ring over every line of the region: the working set
@@ -297,6 +439,7 @@ mod tests {
             jump_fraction: 0.05,
             shared_stride: 8 * 10501,
             lock_sharing: 0.1,
+            sharing: SharingModel::derived(0.1, 1.0),
             itlb_miss_per_million: 1000,
             segments: 48,
             seed: 99,
@@ -325,7 +468,10 @@ mod tests {
             .filter(|((_, a), (_, b))| a != b)
             .count();
         assert!(diff > 0, "private bases must differ");
-        assert!(diff < 10, "only init-block constants may differ, got {diff}");
+        assert!(
+            diff < 16,
+            "only init-block constants may differ, got {diff}"
+        );
     }
 
     #[test]
@@ -376,10 +522,8 @@ mod tests {
         s.chase_weight = 2.0;
         s.shared_bytes = 1 << 16; // 1024 lines for a fast test
         let init = initial_memory(&s);
-        assert_eq!(
-            init.len(),
-            (s.shared_bytes / 64) as usize + (s.locks * 48) as usize
-        );
+        let static_init = (s.locks * 48 + s.sharing.hot_lines + FLAG_SLOTS) as usize;
+        assert_eq!(init.len(), (s.shared_bytes / 64) as usize + static_init);
         // Follow the ring; it must return to the start after exactly
         // `lines` hops, visiting every line once.
         let map: std::collections::HashMap<u64, u64> = init
@@ -402,9 +546,13 @@ mod tests {
     }
 
     #[test]
-    fn no_chase_still_initializes_locks() {
-        let init = initial_memory(&spec());
-        assert_eq!(init.len() as u64, spec().locks * 48);
+    fn no_chase_still_initializes_locks_and_hot_lines() {
+        let s = spec();
+        let init = initial_memory(&s);
+        assert_eq!(
+            init.len() as u64,
+            s.locks * 48 + s.sharing.hot_lines + FLAG_SLOTS
+        );
         assert!(init.iter().all(|(a, v)| *v == 0 && a.as_u64() >= LOCK_BASE));
     }
 

@@ -45,6 +45,9 @@ mod spec;
 mod suite;
 
 pub use builder::ProgramBuilder;
-pub use gen::generate_program;
-pub use spec::{WorkloadClass, WorkloadSpec};
+pub use gen::{
+    generate_program, initial_memory, FLAG_BASE, FLAG_SLOTS, HOT_BASE, LOCK_BASE, PRIVATE_BASE,
+    PRIVATE_SPACING, SHARED_BASE,
+};
+pub use spec::{SharingModel, WorkloadClass, WorkloadSpec};
 pub use suite::{suite, Workload};

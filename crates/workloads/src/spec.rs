@@ -46,6 +46,111 @@ impl fmt::Display for WorkloadClass {
     }
 }
 
+/// First-class sharing/contention model of one workload.
+///
+/// This replaces the old single-scalar knobs (`lock_sharing`,
+/// `shared_read_weight`) as the source of cross-thread race behavior: a
+/// small *hot* region of truly shared cache lines with a bounded writer
+/// set, migratory read-modify-write traffic, producer-consumer flag
+/// hand-offs, and bursts of contended critical sections on a small subset
+/// of the globally shared lock bank. Together these control how often a
+/// mute core's stale private snapshot disagrees with the vocal's coherent
+/// read — the input-incoherence rate of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SharingModel {
+    /// Number of hot shared cache lines all threads read (power of two).
+    pub hot_lines: u64,
+    /// Writer-count bound: only threads with index below this value ever
+    /// store to the hot region; the rest are pure readers.
+    pub writers: u32,
+    /// Relative weight of hot-region access segments.
+    pub hot_weight: f64,
+    /// Fraction of hot-region segments that include a (writer-gated) store.
+    pub hot_write_fraction: f64,
+    /// Relative weight of migratory read-modify-write segments (line
+    /// ownership migrates between threads as their cursors coincide).
+    pub migratory_weight: f64,
+    /// Relative weight of producer-consumer flag segments (each thread
+    /// publishes its own flag line and polls its neighbor's).
+    pub producer_consumer_weight: f64,
+    /// Fraction of critical sections that contend on the globally shared
+    /// lock bank instead of the thread-affine bank.
+    pub lock_contention: f64,
+    /// Size of the contended subset of the global lock bank (power of two);
+    /// smaller values mean real runtime collisions between threads.
+    pub contended_locks: u64,
+    /// Consecutive contended critical sections emitted per contention
+    /// burst.
+    pub burst_len: u32,
+    /// Dynamic rarity of hot/migratory/producer writes (power of two): a
+    /// generated store fires roughly once per this many loop iterations,
+    /// so racy writes are rare *at runtime* even though the store is a
+    /// static part of the loop body.
+    pub write_period: u64,
+    /// Dynamic rarity of contended lock bursts (power of two, in loop
+    /// iterations), gated the same way.
+    pub contention_period: u64,
+}
+
+impl SharingModel {
+    /// Derives a sharing model from the legacy scalar knobs, preserving
+    /// config-patch compatibility: `lock_sharing` becomes the contention
+    /// fraction and `shared_read_weight` scales a modest hot-read weight.
+    pub fn derived(lock_sharing: f64, shared_read_weight: f64) -> Self {
+        SharingModel {
+            hot_lines: 8,
+            writers: 1,
+            hot_weight: shared_read_weight * 0.25,
+            hot_write_fraction: 0.02,
+            migratory_weight: 0.0,
+            producer_consumer_weight: 0.0,
+            lock_contention: lock_sharing,
+            contended_locks: 8,
+            burst_len: 1,
+            write_period: 64,
+            contention_period: 64,
+        }
+    }
+
+    /// Validates the model's structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with `name` in the message) if a bound is violated.
+    pub fn assert_valid(&self, name: &str) {
+        assert!(
+            self.hot_lines.is_power_of_two(),
+            "{name}: hot_lines must be a power of two"
+        );
+        assert!(self.writers >= 1, "{name}: need at least one hot writer");
+        assert!(
+            self.contended_locks.is_power_of_two(),
+            "{name}: contended_locks must be a power of two"
+        );
+        assert!(self.burst_len >= 1, "{name}: burst_len must be at least 1");
+        assert!(
+            self.write_period.is_power_of_two(),
+            "{name}: write_period must be a power of two"
+        );
+        assert!(
+            self.contention_period.is_power_of_two(),
+            "{name}: contention_period must be a power of two"
+        );
+        for (label, w) in [
+            ("hot_weight", self.hot_weight),
+            ("hot_write_fraction", self.hot_write_fraction),
+            ("migratory_weight", self.migratory_weight),
+            ("producer_consumer_weight", self.producer_consumer_weight),
+            ("lock_contention", self.lock_contention),
+        ] {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "{name}: {label} must be finite and non-negative"
+            );
+        }
+    }
+}
+
 /// Generator parameters for one workload.
 ///
 /// Footprint sizes must be powers of two (address wrapping uses masks).
@@ -90,10 +195,14 @@ pub struct WorkloadSpec {
     pub jump_fraction: f64,
     /// Shared-region access stride in bytes (multiple of 8).
     pub shared_stride: u64,
-    /// Fraction of critical sections that use a globally shared lock bank
-    /// instead of the thread-affine bank (controls lock contention and the
-    /// input-incoherence rate).
+    /// Legacy scalar: fraction of critical sections on the globally shared
+    /// lock bank. Superseded by [`SharingModel::lock_contention`]; kept as
+    /// the derived default for config-patch compatibility (see
+    /// [`WorkloadSpec::sharing`]).
     pub lock_sharing: f64,
+    /// The first-class sharing/contention model. Construct with
+    /// [`SharingModel::derived`] to reproduce the legacy scalar behavior.
+    pub sharing: SharingModel,
     /// Synthetic ITLB miss rate per million fetched instructions
     /// (instruction-footprint surrogate; Table 3).
     pub itlb_miss_per_million: u64,
@@ -123,6 +232,12 @@ impl WorkloadSpec {
         );
         assert!(self.locks > 0, "{}: need at least one lock", self.name);
         assert!(self.segments >= 8, "{}: too few segments", self.name);
+        self.sharing.assert_valid(self.name);
+        assert!(
+            self.sharing.contended_locks <= self.locks * 16,
+            "{}: contended subset exceeds the global lock bank",
+            self.name
+        );
     }
 }
 
@@ -151,6 +266,7 @@ mod tests {
             jump_fraction: 0.03,
             shared_stride: 8 * 10501,
             lock_sharing: 0.05,
+            sharing: SharingModel::derived(0.05, 1.0),
             itlb_miss_per_million: 1000,
             segments: 32,
             seed: 42,
@@ -181,5 +297,37 @@ mod tests {
     #[test]
     fn class_display() {
         assert_eq!(WorkloadClass::Scientific.to_string(), "Scientific");
+    }
+
+    #[test]
+    fn derived_sharing_tracks_legacy_scalars() {
+        let m = SharingModel::derived(0.25, 2.0);
+        assert!((m.lock_contention - 0.25).abs() < 1e-12);
+        assert!((m.hot_weight - 0.5).abs() < 1e-12);
+        m.assert_valid("derived");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_lines")]
+    fn rejects_non_power_of_two_hot_lines() {
+        let mut s = spec();
+        s.sharing.hot_lines = 3;
+        s.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "hot writer")]
+    fn rejects_zero_writers() {
+        let mut s = spec();
+        s.sharing.writers = 0;
+        s.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "contended subset")]
+    fn rejects_oversized_contended_bank() {
+        let mut s = spec();
+        s.sharing.contended_locks = s.locks * 32;
+        s.assert_valid();
     }
 }

@@ -2,7 +2,7 @@
 
 use reunion_isa::{Addr, Program};
 
-use crate::{gen, WorkloadClass, WorkloadSpec};
+use crate::{gen, SharingModel, WorkloadClass, WorkloadSpec};
 
 /// A named workload: its parameterization plus program/memory generation.
 ///
@@ -91,6 +91,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.02,
             shared_stride: 8 * 65,
             lock_sharing: 0.03,
+            sharing: SharingModel {
+                hot_lines: 16,
+                writers: 2,
+                hot_weight: 0.4,
+                hot_write_fraction: 0.2,
+                migratory_weight: 0.05,
+                producer_consumer_weight: 0.04,
+                lock_contention: 0.05,
+                contended_locks: 16,
+                burst_len: 2,
+                write_period: 64,
+                contention_period: 64,
+            },
             itlb_miss_per_million: 1400,
             segments: 96,
             seed: 0xA9AC4E,
@@ -115,6 +128,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.015,
             shared_stride: 8 * 65,
             lock_sharing: 0.03,
+            sharing: SharingModel {
+                hot_lines: 16,
+                writers: 2,
+                hot_weight: 0.35,
+                hot_write_fraction: 0.2,
+                migratory_weight: 0.05,
+                producer_consumer_weight: 0.04,
+                lock_contention: 0.05,
+                contended_locks: 16,
+                burst_len: 2,
+                write_period: 128,
+                contention_period: 64,
+            },
             itlb_miss_per_million: 1200,
             segments: 96,
             seed: 0x5EC5,
@@ -139,6 +165,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.03,
             shared_stride: 8 * 65,
             lock_sharing: 0.05,
+            sharing: SharingModel {
+                hot_lines: 16,
+                writers: 4,
+                hot_weight: 0.5,
+                hot_write_fraction: 0.25,
+                migratory_weight: 0.08,
+                producer_consumer_weight: 0.04,
+                lock_contention: 0.06,
+                contended_locks: 16,
+                burst_len: 2,
+                write_period: 64,
+                contention_period: 32,
+            },
             itlb_miss_per_million: 1800,
             segments: 96,
             seed: 0xDB2,
@@ -163,6 +202,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.035,
             shared_stride: 8 * 65,
             lock_sharing: 0.05,
+            sharing: SharingModel {
+                hot_lines: 16,
+                writers: 4,
+                hot_weight: 0.45,
+                hot_write_fraction: 0.25,
+                migratory_weight: 0.08,
+                producer_consumer_weight: 0.04,
+                lock_contention: 0.06,
+                contended_locks: 16,
+                burst_len: 2,
+                write_period: 32,
+                contention_period: 32,
+            },
             itlb_miss_per_million: 2500,
             segments: 96,
             seed: 0x04AC1E,
@@ -187,6 +239,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.002,
             shared_stride: 8,
             lock_sharing: 0.02,
+            sharing: SharingModel {
+                hot_lines: 32,
+                writers: 1,
+                hot_weight: 0.6,
+                hot_write_fraction: 0.1,
+                migratory_weight: 0.02,
+                producer_consumer_weight: 0.02,
+                lock_contention: 0.02,
+                contended_locks: 16,
+                burst_len: 1,
+                write_period: 256,
+                contention_period: 256,
+            },
             itlb_miss_per_million: 150,
             segments: 96,
             seed: 0xD551,
@@ -211,6 +276,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.012,
             shared_stride: 8 * 129,
             lock_sharing: 0.02,
+            sharing: SharingModel {
+                hot_lines: 32,
+                writers: 1,
+                hot_weight: 0.5,
+                hot_write_fraction: 0.1,
+                migratory_weight: 0.02,
+                producer_consumer_weight: 0.02,
+                lock_contention: 0.02,
+                contended_locks: 16,
+                burst_len: 1,
+                write_period: 64,
+                contention_period: 256,
+            },
             itlb_miss_per_million: 800,
             segments: 96,
             seed: 0xD552,
@@ -235,6 +313,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.012,
             shared_stride: 8 * 65,
             lock_sharing: 0.02,
+            sharing: SharingModel {
+                hot_lines: 32,
+                writers: 1,
+                hot_weight: 0.55,
+                hot_write_fraction: 0.1,
+                migratory_weight: 0.02,
+                producer_consumer_weight: 0.02,
+                lock_contention: 0.02,
+                contended_locks: 16,
+                burst_len: 1,
+                write_period: 256,
+                contention_period: 256,
+            },
             itlb_miss_per_million: 850,
             segments: 96,
             seed: 0xD517,
@@ -259,6 +350,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.004,
             shared_stride: 8 * 9,
             lock_sharing: 0.02,
+            sharing: SharingModel {
+                hot_lines: 16,
+                writers: 2,
+                hot_weight: 0.15,
+                hot_write_fraction: 0.0,
+                migratory_weight: 0.0,
+                producer_consumer_weight: 0.02,
+                lock_contention: 0.0,
+                contended_locks: 16,
+                burst_len: 1,
+                write_period: 4096,
+                contention_period: 512,
+            },
             itlb_miss_per_million: 60,
             segments: 96,
             seed: 0xE3D,
@@ -275,7 +379,7 @@ pub fn suite() -> Vec<Workload> {
             private_weight: 3.0,
             compute_weight: 4.0,
             trap_weight: 0.003,
-            membar_weight: 0.020,
+            membar_weight: 0.12,
             chase_weight: 0.0,
             store_fraction: 0.30,
             private_stride: 8 * 5003,
@@ -283,6 +387,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.003, // neighbor-list locality
             shared_stride: 8 * 9,
             lock_sharing: 0.02,
+            sharing: SharingModel {
+                hot_lines: 16,
+                writers: 2,
+                hot_weight: 0.5,
+                hot_write_fraction: 0.0,
+                migratory_weight: 0.0,
+                producer_consumer_weight: 0.10,
+                lock_contention: 0.04,
+                contended_locks: 16,
+                burst_len: 1,
+                write_period: 128,
+                contention_period: 256,
+            },
             itlb_miss_per_million: 60,
             segments: 96,
             seed: 0x301D,
@@ -299,7 +416,7 @@ pub fn suite() -> Vec<Workload> {
             private_weight: 3.5,
             compute_weight: 3.0,
             trap_weight: 0.003,
-            membar_weight: 0.015,
+            membar_weight: 0.12,
             chase_weight: 0.0,
             store_fraction: 0.35,
             private_stride: 8 * 33,
@@ -307,6 +424,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.002, // stencil: near-neighbor sweeps
             shared_stride: 8 * 9,
             lock_sharing: 0.02,
+            sharing: SharingModel {
+                hot_lines: 16,
+                writers: 2,
+                hot_weight: 0.5,
+                hot_write_fraction: 0.0,
+                migratory_weight: 0.0,
+                producer_consumer_weight: 0.16,
+                lock_contention: 0.04,
+                contended_locks: 16,
+                burst_len: 1,
+                write_period: 128,
+                contention_period: 256,
+            },
             itlb_miss_per_million: 60,
             segments: 96,
             seed: 0x0CEA,
@@ -323,7 +453,7 @@ pub fn suite() -> Vec<Workload> {
             private_weight: 2.5,
             compute_weight: 3.0,
             trap_weight: 0.003,
-            membar_weight: 0.012,
+            membar_weight: 0.10,
             chase_weight: 0.0,
             store_fraction: 0.20,
             private_stride: 8 * 40503,
@@ -331,6 +461,19 @@ pub fn suite() -> Vec<Workload> {
             jump_fraction: 0.004, // indirect row accesses
             shared_stride: 8 * 17,
             lock_sharing: 0.02,
+            sharing: SharingModel {
+                hot_lines: 16,
+                writers: 2,
+                hot_weight: 0.5,
+                hot_write_fraction: 0.0,
+                migratory_weight: 0.0,
+                producer_consumer_weight: 0.04,
+                lock_contention: 0.04,
+                contended_locks: 16,
+                burst_len: 1,
+                write_period: 128,
+                contention_period: 256,
+            },
             itlb_miss_per_million: 60,
             segments: 96,
             seed: 0x59A5,

@@ -63,13 +63,22 @@ fn main() {
     println!("racing stores injected:      {writes}");
     println!("incoherence events detected: {}", stats.mismatches.value());
     println!("recoveries completed:        {}", stats.recoveries.value());
-    println!("synchronizing requests:      {}", stats.sync_requests.value());
-    println!("phase-2 escalations:         {}", stats.phase2_recoveries.value());
+    println!(
+        "synchronizing requests:      {}",
+        stats.sync_requests.value()
+    );
+    println!(
+        "phase-2 escalations:         {}",
+        stats.phase2_recoveries.value()
+    );
     println!("failures:                    {}", stats.failures.value());
     println!("user instructions retired:   {}", pair.retired_user());
     assert_eq!(pair.phase(), RecoveryPhase::Normal);
     assert_eq!(stats.failures.value(), 0);
     assert!(stats.mismatches.value() > 0, "races must be detected");
-    assert!(pair.retired_user() > 10_000, "and execution must make progress");
+    assert!(
+        pair.retired_user() > 10_000,
+        "and execution must make progress"
+    );
     println!("\nevery race was detected, recovered, and execution progressed.");
 }

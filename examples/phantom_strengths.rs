@@ -13,7 +13,11 @@ use reunion_workloads::Workload;
 
 fn main() {
     let workload = Workload::by_name("db2_oltp").expect("in suite");
-    let sample = SampleConfig { warmup: 50_000, window: 25_000, windows: 2 };
+    let sample = SampleConfig {
+        warmup: 50_000,
+        window: 25_000,
+        windows: 2,
+    };
 
     println!(
         "{:<8} {:>10} {:>14} {:>14} {:>12}",

@@ -13,7 +13,11 @@ fn main() {
 
     // The paper's Table 1 machine: 4 logical processors, 64 KB L1s,
     // 16 MB shared L2, 10-cycle fingerprint comparison latency.
-    let sample = SampleConfig { warmup: 50_000, window: 25_000, windows: 2 };
+    let sample = SampleConfig {
+        warmup: 50_000,
+        window: 25_000,
+        windows: 2,
+    };
 
     // Measure the non-redundant baseline.
     let base = measure(

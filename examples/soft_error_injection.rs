@@ -33,8 +33,14 @@ fn main() {
     let pair = sys.pair_mut(0).expect("redundant configuration");
     let vocal_state = pair.vocal().arch_state().clone();
     let mute_state = pair.mute().arch_state().clone();
-    assert!(stats.mismatches >= 2, "both injected errors must be detected");
-    assert_eq!(stats.failures, 0, "single-bit errors are always recoverable");
+    assert!(
+        stats.mismatches >= 2,
+        "both injected errors must be detected"
+    );
+    assert_eq!(
+        stats.failures, 0,
+        "single-bit errors are always recoverable"
+    );
     assert_eq!(
         vocal_state.regs, mute_state.regs,
         "after recovery the pair's safe states agree"

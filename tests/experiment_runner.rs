@@ -8,7 +8,11 @@ use reunion_sim::{ConfigPatch, ExperimentGrid, Metric, Runner};
 use reunion_workloads::{suite, Workload};
 
 fn small_sample() -> SampleConfig {
-    SampleConfig { warmup: 5_000, window: 5_000, windows: 2 }
+    SampleConfig {
+        warmup: 5_000,
+        window: 5_000,
+        windows: 2,
+    }
 }
 
 /// A miniature Figure-6-shaped grid over real suite workloads.

@@ -4,7 +4,11 @@ use reunion_core::{measure, normalized_ipc, ExecutionMode, SampleConfig, SystemC
 use reunion_workloads::{suite, Workload, WorkloadClass};
 
 fn quick() -> SampleConfig {
-    SampleConfig { warmup: 8_000, window: 8_000, windows: 2 }
+    SampleConfig {
+        warmup: 8_000,
+        window: 8_000,
+        windows: 2,
+    }
 }
 
 #[test]
@@ -20,7 +24,8 @@ fn every_workload_runs_under_every_mode() {
                 m.ipc
             );
             assert_eq!(
-                m.totals.failures, 0,
+                m.totals.failures,
+                0,
                 "{} under {mode} reported failures without injected errors",
                 workload.name()
             );
@@ -34,7 +39,8 @@ fn strict_never_observes_input_incoherence() {
         let cfg = SystemConfig::small_test(ExecutionMode::Strict);
         let m = measure(&cfg, &workload, &quick());
         assert_eq!(
-            m.totals.mismatches, 0,
+            m.totals.mismatches,
+            0,
             "{}: strict input replication is immune to incoherence",
             workload.name()
         );
@@ -164,7 +170,9 @@ fn class_composition_is_stable() {
     let all = suite();
     assert_eq!(all.len(), 11);
     assert_eq!(
-        all.iter().filter(|w| w.class() == WorkloadClass::Scientific).count(),
+        all.iter()
+            .filter(|w| w.class() == WorkloadClass::Scientific)
+            .count(),
         4
     );
 }

@@ -126,7 +126,11 @@ fn crc_chunking_is_associative() {
     for_cases(0xA1_0006, |rng| {
         let len = (rng.next_u64() % 64) as usize;
         let data: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
-        let split = if len == 0 { 0 } else { (rng.next_u64() as usize) % (len + 1) };
+        let split = if len == 0 {
+            0
+        } else {
+            (rng.next_u64() as usize) % (len + 1)
+        };
         let mut whole = Crc::new_16();
         whole.consume(&data);
         let mut parts = Crc::new_16();
@@ -180,9 +184,19 @@ fn vocal_store_visibility() {
         let m0 = mem.register_l1(Owner::mute(0));
         let v1 = mem.register_l1(Owner::vocal(1));
         mem.drain_store(Cycle::ZERO, v0, Addr::new(addr), value);
-        let remote = mem.load(Cycle::new(500), v1, Addr::new(addr), PhantomStrength::Global);
+        let remote = mem.load(
+            Cycle::new(500),
+            v1,
+            Addr::new(addr),
+            PhantomStrength::Global,
+        );
         assert_eq!(remote.value, value);
-        let phantom = mem.load(Cycle::new(500), m0, Addr::new(addr), PhantomStrength::Global);
+        let phantom = mem.load(
+            Cycle::new(500),
+            m0,
+            Addr::new(addr),
+            PhantomStrength::Global,
+        );
         assert_eq!(phantom.value, value);
     });
 }
@@ -213,7 +227,158 @@ fn whole_system_replay_is_bit_identical() {
         let mut sys = CmpSystem::new(&cfg, &workload);
         sys.run(30_000);
         let s = sys.window_stats();
-        (s.user_instructions, s.mismatches, s.sync_requests, s.tlb_misses)
+        (
+            s.user_instructions,
+            s.mismatches,
+            s.sync_requests,
+            s.tlb_misses,
+        )
     };
     assert_eq!(run(()), run(()));
+}
+
+// ---------------------------------------------------------------------
+// Sharing-model invariants.
+// ---------------------------------------------------------------------
+
+/// Builds a randomized sharing-heavy spec; `writers` is the bound under
+/// test.
+fn racy_spec(rng: &mut SimRng, writers: u32) -> reunion_workloads::WorkloadSpec {
+    use reunion_workloads::{SharingModel, WorkloadClass, WorkloadSpec};
+    WorkloadSpec {
+        name: "prop-sharing",
+        class: WorkloadClass::Scientific,
+        private_bytes: 1 << 20,
+        shared_bytes: 1 << 20,
+        locks: 16,
+        critical_section_len: 6,
+        lock_weight: 0.2,
+        shared_read_weight: 1.0,
+        private_weight: 2.0,
+        compute_weight: 2.0,
+        trap_weight: 0.01,
+        membar_weight: 0.05,
+        chase_weight: 0.0,
+        store_fraction: 0.3,
+        private_stride: 8 * 40503,
+        private_step: 24,
+        jump_fraction: 0.01,
+        shared_stride: 8 * 9,
+        lock_sharing: 0.05,
+        sharing: SharingModel {
+            hot_lines: 16,
+            writers,
+            hot_weight: 1.0,
+            hot_write_fraction: 0.5,
+            migratory_weight: 0.5,
+            producer_consumer_weight: 0.0,
+            lock_contention: 0.1,
+            contended_locks: 8,
+            burst_len: 2,
+            write_period: 8,
+            contention_period: 8,
+        },
+        itlb_miss_per_million: 0,
+        segments: 48,
+        seed: rng.next_u64(),
+    }
+}
+
+/// Writer-count bounds: a thread outside the writer bound never stores to
+/// the hot shared region, while writer threads eventually do.
+#[test]
+fn sharing_writer_bounds_respected() {
+    use reunion_isa::{FunctionalCore, SparseMemory};
+    use reunion_workloads::{generate_program, initial_memory};
+    let hot_base = reunion_workloads::HOT_BASE;
+    let mut rng = SimRng::seed_from(0xA1_000B);
+    for case in 0..12 {
+        let writers = 1 + (rng.next_u64() % 3) as u32;
+        let spec = racy_spec(&mut rng, writers);
+        let hot_bytes = spec.sharing.hot_lines * 64;
+        // Readers (thread >= writers) must leave every hot word untouched.
+        for thread in [writers as usize, writers as usize + 1] {
+            let prog = generate_program(&spec, thread);
+            let mut mem = SparseMemory::new();
+            for (addr, value) in initial_memory(&spec) {
+                mem.poke(addr, value);
+            }
+            let mut core = FunctionalCore::new();
+            core.run(&prog, &mut mem, 150_000);
+            for line in 0..spec.sharing.hot_lines {
+                let addr = reunion_isa::Addr::new(hot_base + line * 64);
+                assert_eq!(
+                    mem.peek(addr),
+                    0,
+                    "case {case}: thread {thread} (bound {writers}) wrote hot {addr:?}"
+                );
+            }
+        }
+        // Thread 0 is always inside the bound and must eventually write.
+        let prog = generate_program(&spec, 0);
+        let mut mem = SparseMemory::new();
+        for (addr, value) in initial_memory(&spec) {
+            mem.poke(addr, value);
+        }
+        let mut core = FunctionalCore::new();
+        core.run(&prog, &mut mem, 150_000);
+        let wrote =
+            (0..hot_bytes / 8).any(|i| mem.peek(reunion_isa::Addr::new(hot_base + i * 8)) != 0);
+        assert!(
+            wrote,
+            "case {case}: writer thread 0 never wrote the hot region"
+        );
+    }
+}
+
+/// Incoherence counters are monotone over a run (and mismatches dominate
+/// input-incoherence events, which dominate nothing below zero).
+#[test]
+fn incoherence_counters_are_monotone() {
+    use reunion_core::{CmpSystem, ExecutionMode, SystemConfig};
+    use reunion_workloads::Workload;
+    let workload = Workload::by_name("db2_oltp").unwrap();
+    let cfg = SystemConfig::small_test(ExecutionMode::Reunion);
+    let mut sys = CmpSystem::new(&cfg, &workload);
+    let mut last = sys.window_stats();
+    for _ in 0..40 {
+        sys.run(1_000);
+        let s = sys.window_stats();
+        assert!(
+            s.mismatches >= last.mismatches,
+            "mismatches must not decrease"
+        );
+        assert!(
+            s.input_incoherence >= last.input_incoherence,
+            "input_incoherence must not decrease"
+        );
+        assert!(s.sync_requests >= last.sync_requests);
+        assert!(
+            s.input_incoherence <= s.mismatches,
+            "incoherence events are a subset of mismatches"
+        );
+        last = s;
+    }
+}
+
+/// Serial and parallel runs of a sharing-heavy grid produce byte-identical
+/// reports (the determinism guard, exercised through the new sharing
+/// model's raciest paths).
+#[test]
+fn sharing_model_reports_serial_parallel_parity() {
+    use reunion_core::{ExecutionMode, SampleConfig, SystemConfig};
+    use reunion_sim::{ExperimentGrid, Runner};
+    use reunion_workloads::Workload;
+    let grid = ExperimentGrid::builder("prop-parity", "sharing-model parity")
+        .base(SystemConfig::small_test)
+        .sample(SampleConfig::quick())
+        .workloads(vec![
+            Workload::by_name("db2_oltp").unwrap(),
+            Workload::by_name("moldyn").unwrap(),
+        ])
+        .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
+        .build();
+    let serial = Runner::serial().run(&grid).to_json();
+    let parallel = Runner::with_threads(4).run(&grid).to_json();
+    assert_eq!(serial, parallel, "parallel report must be byte-identical");
 }

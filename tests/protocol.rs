@@ -55,7 +55,10 @@ fn incoherence_alone_never_produces_unsafe_state() {
         pair.tick(Cycle::new(now), &mut mem);
     }
 
-    assert!(pair.stats().mismatches.value() > 0, "races must be observed");
+    assert!(
+        pair.stats().mismatches.value() > 0,
+        "races must be observed"
+    );
     assert_eq!(pair.stats().failures.value(), 0, "Lemma 1: no unsafe state");
     assert_eq!(
         pair.vocal().arch_state().regs,
@@ -168,27 +171,62 @@ fn soft_errors_on_workloads_are_recovered() {
     let cfg = SystemConfig::small_test(ExecutionMode::Reunion);
     let mut sys = CmpSystem::new(&cfg, &workload);
     sys.run(5_000);
-    sys.pair_mut(0).unwrap().vocal_mut().inject_soft_error_at(1_000, 9);
-    sys.pair_mut(1).unwrap().mute_mut().inject_soft_error_at(2_000, 23);
+    sys.pair_mut(0)
+        .unwrap()
+        .vocal_mut()
+        .inject_soft_error_at(1_000, 9);
+    sys.pair_mut(1)
+        .unwrap()
+        .mute_mut()
+        .inject_soft_error_at(2_000, 23);
     sys.run(50_000);
     let stats = sys.window_stats();
-    assert!(stats.mismatches >= 2, "both errors detected, got {}", stats.mismatches);
+    assert!(
+        stats.mismatches >= 2,
+        "both errors detected, got {}",
+        stats.mismatches
+    );
     assert_eq!(stats.failures, 0);
+    // The two halves of a pair drift apart by up to the comparison latency
+    // during normal execution; every recovery (and every drained
+    // serializing boundary) re-lands them on identical safe states. Poll
+    // for that recurring agreement point instead of asserting at an
+    // arbitrary cycle.
     for lp in 0..2 {
-        let pair = sys.pair_mut(lp).unwrap();
-        assert_eq!(
-            pair.vocal().arch_state().regs,
-            pair.mute().arch_state().regs,
-            "pair {lp} safe states agree after recovery"
+        let mut agreed = false;
+        for _ in 0..200 {
+            let pair = sys.pair_mut(lp).unwrap();
+            if pair.vocal().arch_state().regs == pair.mute().arch_state().regs {
+                agreed = true;
+                break;
+            }
+            sys.run(250);
+        }
+        assert!(
+            agreed,
+            "pair {lp} safe states never re-agree after recovery"
         );
     }
 }
 
 /// External interrupts are serviced at the same instruction on both cores:
 /// fingerprints keep matching and no recovery is triggered.
+///
+/// Uses a race-free custom workload (all sharing weights zeroed) so any
+/// mismatch is attributable to interrupt servicing rather than to the
+/// suite's deliberately racy sharing model.
 #[test]
 fn interrupts_replicate_cleanly_across_the_pair() {
-    let workload = Workload::by_name("ocean").unwrap();
+    let base = Workload::by_name("ocean").unwrap();
+    let mut spec = base.spec().clone();
+    spec.lock_weight = 0.0;
+    spec.lock_sharing = 0.0;
+    spec.sharing.hot_write_fraction = 0.0;
+    spec.sharing.migratory_weight = 0.0;
+    spec.sharing.producer_consumer_weight = 0.0;
+    spec.sharing.lock_contention = 0.0;
+    spec.store_fraction = 0.0;
+    let workload = Workload::from_spec(spec);
     let cfg = SystemConfig::small_test(ExecutionMode::Reunion);
     let mut sys = CmpSystem::new(&cfg, &workload);
     sys.run(3_000);
