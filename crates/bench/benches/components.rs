@@ -45,7 +45,10 @@ impl Bencher {
 
 impl Criterion {
     fn new() -> Self {
-        let quick = reunion_sim::env_flag("REUNION_FAST");
+        // Same env convention as the experiment binaries: REUNION_PROFILE is
+        // canonical, REUNION_FAST=1 the legacy spelling of "fast".
+        let quick = matches!(std::env::var("REUNION_PROFILE").as_deref(), Ok("fast"))
+            || reunion_sim::env_flag("REUNION_FAST");
         Criterion {
             samples: if quick { 3 } else { 10 },
             budget: Duration::from_millis(if quick { 5 } else { 50 }),

@@ -12,16 +12,25 @@
 //! compare_trajectory <baseline_dir> <candidate_dir> [--tolerance <rel>]
 //! ```
 //!
+//! The candidate directory may hold `BENCH_<id>.json` files, shard
+//! manifests (`MANIFEST_*.jsonl`) from a sharded run, or a mix: any
+//! complete manifest group without a corresponding `BENCH_<id>.json` is
+//! merged in memory first — merged output is byte-identical to a
+//! single-process run, so it gates identically. An *incomplete* manifest
+//! group is a failure, not a skip: a half-run campaign must never pass as
+//! "no drift".
+//!
 //! To accept an intentional change, regenerate the baselines locally:
 //!
 //! ```text
-//! REUNION_FAST=1 REUNION_OUT_DIR=baselines cargo run --release -p reunion-bench --bin <id>
+//! REUNION_OUT_DIR=baselines cargo run --release -p reunion-bench --bin <id> -- --profile fast
 //! ```
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use reunion_sim::{parse_json, JsonValue};
+use reunion_sim::{find_manifests, merge_manifests, parse_json, JsonValue};
 
 /// Default relative tolerance for numeric leaves.
 const DEFAULT_TOLERANCE: f64 = 0.02;
@@ -69,18 +78,25 @@ fn main() -> ExitCode {
     };
 
     let mut failed = false;
+    let candidates = match candidate_artifacts(Path::new(candidate_dir)) {
+        Ok(c) => c,
+        Err(errors) => {
+            for e in errors {
+                println!("FAIL {e}");
+            }
+            println!("trajectory drift detected; refresh baselines/ if the change is intentional");
+            return ExitCode::FAILURE;
+        }
+    };
     // A candidate artifact with no checked-in baseline is drift too: a
     // newly added binary must land with its baseline or it is never gated.
-    if let Ok(candidates) = bench_files(Path::new(candidate_dir)) {
-        for cand in candidates {
-            let name = cand.file_name().expect("listed file");
-            if !baselines.iter().any(|b| b.file_name() == Some(name)) {
-                failed = true;
-                println!(
-                    "FAIL {}: no baseline under {baseline_dir}; add one",
-                    name.to_string_lossy()
-                );
-            }
+    for name in candidates.keys() {
+        if !baselines
+            .iter()
+            .any(|b| b.file_name().is_some_and(|n| n.to_string_lossy() == *name))
+        {
+            failed = true;
+            println!("FAIL {name}: no baseline under {baseline_dir}; add one");
         }
     }
     for base_path in baselines {
@@ -89,8 +105,7 @@ fn main() -> ExitCode {
             .expect("listed file")
             .to_string_lossy()
             .to_string();
-        let cand_path = Path::new(candidate_dir).join(&name);
-        match compare_files(&base_path, &cand_path, tolerance) {
+        match compare_against(&base_path, candidates.get(&name), tolerance) {
             Ok(drifts) if drifts.is_empty() => {
                 println!("OK   {name}");
             }
@@ -134,17 +149,63 @@ fn bench_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-fn compare_files(base: &Path, cand: &Path, tolerance: f64) -> Result<Vec<Drift>, String> {
+/// The candidate artifacts under `dir`, keyed by `BENCH_<id>.json` file
+/// name: on-disk report files, plus in-memory merges of any complete shard
+/// manifest group that has no report file yet.
+fn candidate_artifacts(dir: &Path) -> Result<BTreeMap<String, JsonValue>, Vec<String>> {
+    let mut artifacts = BTreeMap::new();
+    let mut errors = Vec::new();
+    for path in bench_files(dir).unwrap_or_default() {
+        let name = path
+            .file_name()
+            .expect("listed file")
+            .to_string_lossy()
+            .to_string();
+        match std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read candidate {}: {e}", path.display()))
+            .and_then(|text| {
+                parse_json(&text).map_err(|e| format!("candidate {}: {e}", path.display()))
+            }) {
+            Ok(v) => {
+                artifacts.insert(name, v);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    for (id, paths) in find_manifests(dir).ok().unwrap_or_default() {
+        let name = format!("BENCH_{id}.json");
+        if artifacts.contains_key(&name) {
+            continue;
+        }
+        match merge_manifests(&paths) {
+            Ok(report) => {
+                let v = parse_json(&report.to_json()).expect("report JSON always parses");
+                artifacts.insert(name, v);
+            }
+            Err(e) => errors.push(format!("{name}: cannot merge shard manifests: {e}")),
+        }
+    }
+    if errors.is_empty() {
+        Ok(artifacts)
+    } else {
+        Err(errors)
+    }
+}
+
+fn compare_against(
+    base: &Path,
+    cand: Option<&JsonValue>,
+    tolerance: f64,
+) -> Result<Vec<Drift>, String> {
+    let cand_json = cand.ok_or_else(|| {
+        "missing candidate (no report file or complete manifest group)".to_string()
+    })?;
     let base_text = std::fs::read_to_string(base)
         .map_err(|e| format!("cannot read baseline {}: {e}", base.display()))?;
-    let cand_text = std::fs::read_to_string(cand)
-        .map_err(|e| format!("missing candidate {}: {e}", cand.display()))?;
     let base_json =
         parse_json(&base_text).map_err(|e| format!("baseline {}: {e}", base.display()))?;
-    let cand_json =
-        parse_json(&cand_text).map_err(|e| format!("candidate {}: {e}", cand.display()))?;
     let mut drifts = Vec::new();
-    compare_values(&base_json, &cand_json, tolerance, "$", &mut drifts);
+    compare_values(&base_json, cand_json, tolerance, "$", &mut drifts);
     Ok(drifts)
 }
 

@@ -1,13 +1,12 @@
 //! Figure 5: baseline performance of Strict and Reunion, normalized to the
 //! non-redundant CMP, at a 10-cycle comparison latency.
 
-use reunion_bench::{
-    banner, commercial_scientific_averages, run_and_emit, sample_config, workloads,
-};
+use reunion_bench::{banner, commercial_scientific_averages, parse_opts, run_and_emit, workloads};
 use reunion_core::ExecutionMode;
 use reunion_sim::ExperimentGrid;
 
 fn main() {
+    let opts = parse_opts();
     banner(
         "Figure 5",
         "Normalized IPC of Strict and Reunion (10-cycle comparison latency)",
@@ -16,11 +15,13 @@ fn main() {
         "fig5",
         "Normalized IPC of Strict and Reunion (10-cycle comparison latency)",
     )
-    .sample(sample_config())
+    .sample(opts.sample())
     .workloads(workloads())
     .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
     .build();
-    let report = run_and_emit(&grid);
+    let Some(report) = run_and_emit(&grid) else {
+        return;
+    };
 
     println!(
         "{:<12} {:<11} {:>9} {:>9} {:>12} {:>9}",

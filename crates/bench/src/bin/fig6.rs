@@ -2,7 +2,7 @@
 //! comparison latency (0–40 cycles), averaged per workload class.
 
 use reunion_bench::{
-    banner, class_averages, latency_label, run_and_emit, sample_config, workloads, SWEEP_LATENCIES,
+    banner, class_averages, latency_label, parse_opts, run_and_emit, workloads, SWEEP_LATENCIES,
 };
 use reunion_core::ExecutionMode;
 use reunion_sim::{ConfigPatch, ExperimentGrid, ExperimentReport};
@@ -30,11 +30,12 @@ fn panel(report: &ExperimentReport, mode: ExecutionMode) {
 }
 
 fn main() {
+    let opts = parse_opts();
     let grid = ExperimentGrid::builder(
         "fig6",
         "Strict and Reunion vs comparison latency (normalized IPC)",
     )
-    .sample(sample_config())
+    .sample(opts.sample())
     .workloads(workloads())
     .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
     .patches(
@@ -44,7 +45,9 @@ fn main() {
             .collect(),
     )
     .build();
-    let report = run_and_emit(&grid);
+    let Some(report) = run_and_emit(&grid) else {
+        return;
+    };
 
     banner(
         "Figure 6(a)",

@@ -1,7 +1,7 @@
 //! Figure 7(a): Reunion performance under each phantom-request strength
 //! (10-cycle comparison latency), normalized to the non-redundant baseline.
 
-use reunion_bench::{banner, run_and_emit, sample_config, workloads};
+use reunion_bench::{banner, parse_opts, run_and_emit, workloads};
 use reunion_core::ExecutionMode;
 use reunion_mem::PhantomStrength;
 use reunion_sim::{ConfigPatch, ExperimentGrid};
@@ -13,6 +13,7 @@ const STRENGTHS: [PhantomStrength; 3] = [
 ];
 
 fn main() {
+    let opts = parse_opts();
     banner(
         "Figure 7(a)",
         "Reunion normalized IPC per phantom strength (10-cycle latency)",
@@ -21,7 +22,7 @@ fn main() {
         "fig7a",
         "Reunion normalized IPC per phantom strength (10-cycle latency)",
     )
-    .sample(sample_config())
+    .sample(opts.sample())
     .workloads(workloads())
     .modes(&[ExecutionMode::Reunion])
     .patches(
@@ -31,7 +32,9 @@ fn main() {
             .collect(),
     )
     .build();
-    let report = run_and_emit(&grid);
+    let Some(report) = run_and_emit(&grid) else {
+        return;
+    };
 
     println!(
         "{:<12} {:>9} {:>9} {:>9}",

@@ -2,7 +2,7 @@
 //! vs UltraSPARC III software-managed TLBs, across comparison latencies.
 
 use reunion_bench::{
-    banner, commercial_workloads, keyed_latency_label, run_and_emit, sample_config, SWEEP_LATENCIES,
+    banner, commercial_workloads, keyed_latency_label, parse_opts, run_and_emit, SWEEP_LATENCIES,
 };
 use reunion_core::ExecutionMode;
 use reunion_cpu::TlbMode;
@@ -18,6 +18,7 @@ const TLBS: [(&str, &str, TlbMode); 2] = [
 ];
 
 fn main() {
+    let opts = parse_opts();
     banner(
         "Figure 7(b)",
         "Commercial average: hardware vs software-managed TLB (Reunion)",
@@ -36,12 +37,14 @@ fn main() {
         "fig7b",
         "Commercial average: hardware vs software-managed TLB (Reunion)",
     )
-    .sample(sample_config())
+    .sample(opts.sample())
     .workloads(commercial_workloads())
     .modes(&[ExecutionMode::Reunion])
     .patches(patches)
     .build();
-    let report = run_and_emit(&grid);
+    let Some(report) = run_and_emit(&grid) else {
+        return;
+    };
 
     println!(
         "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",

@@ -1,7 +1,7 @@
 //! §4.3 fingerprint-interval ablation: the paper finds the performance
 //! difference between intervals of 1 and 50 instructions insignificant.
 
-use reunion_bench::{banner, run_and_emit, sample_config, workloads};
+use reunion_bench::{banner, parse_opts, run_and_emit, workloads};
 use reunion_core::ExecutionMode;
 use reunion_sim::{ConfigPatch, ExperimentGrid};
 
@@ -12,6 +12,7 @@ fn interval_label(interval: u32) -> String {
 }
 
 fn main() {
+    let opts = parse_opts();
     banner(
         "Fingerprint-interval ablation (§4.3)",
         "Reunion normalized IPC vs fingerprint interval (10-cycle latency)",
@@ -20,7 +21,7 @@ fn main() {
         "interval_ablation",
         "Reunion normalized IPC vs fingerprint interval (10-cycle latency)",
     )
-    .sample(sample_config())
+    .sample(opts.sample())
     .workloads(workloads())
     .modes(&[ExecutionMode::Reunion])
     .patches(
@@ -30,7 +31,9 @@ fn main() {
             .collect(),
     )
     .build();
-    let report = run_and_emit(&grid);
+    let Some(report) = run_and_emit(&grid) else {
+        return;
+    };
 
     println!(
         "{:<12} {:>9} {:>9} {:>9}",

@@ -1,0 +1,70 @@
+//! Combines shard manifests back into `BENCH_<id>.json` artifacts.
+//!
+//! The second half of a sharded campaign: after every shard of a grid has
+//! run (`REUNION_SHARD=i/N <binary>`, on any mix of machines), collect the
+//! `MANIFEST_<id>.shard<i>of<N>.jsonl` files into one directory and merge
+//! them:
+//!
+//! ```text
+//! merge_shards <manifest_dir>
+//! ```
+//!
+//! Every complete manifest group found under `<manifest_dir>` is merged
+//! into a `BENCH_<id>.json` under `$REUNION_OUT_DIR` (default: the current
+//! directory) — byte-identical to the file a single-process run of the
+//! same grid and profile would have written, so the merged artifact feeds
+//! straight into `compare_trajectory`. An incomplete partition (missing
+//! shards, or an interrupted shard that was never resumed to completion)
+//! fails with the uncovered cell indices so the operator knows what to
+//! (re)run.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use reunion_sim::{find_manifests, merge_manifests};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [dir] = args.as_slice() else {
+        eprintln!("usage: merge_shards <manifest_dir>");
+        return ExitCode::FAILURE;
+    };
+    let groups = match find_manifests(Path::new(dir)) {
+        Ok(groups) if !groups.is_empty() => groups,
+        Ok(_) => {
+            eprintln!("no MANIFEST_*.jsonl shard manifests found under {dir}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    for (id, paths) in &groups {
+        match merge_manifests(paths) {
+            Ok(report) => match report.write_json_default() {
+                Ok(path) => println!(
+                    "OK   {id}: merged {} manifest(s), {} records -> {}",
+                    paths.len(),
+                    report.records.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    failed = true;
+                    println!("FAIL {id}: cannot write merged report: {e}");
+                }
+            },
+            Err(e) => {
+                failed = true;
+                println!("FAIL {id}: {e}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

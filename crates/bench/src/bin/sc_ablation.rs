@@ -3,7 +3,7 @@
 //! reports >60% average loss at a 40-cycle comparison latency.
 
 use reunion_bench::{
-    banner, commercial_workloads, keyed_latency_label, run_and_emit, sample_config, SWEEP_LATENCIES,
+    banner, commercial_workloads, keyed_latency_label, parse_opts, run_and_emit, SWEEP_LATENCIES,
 };
 use reunion_core::ExecutionMode;
 use reunion_cpu::Consistency;
@@ -15,6 +15,7 @@ const MODELS: [(&str, &str, Consistency); 2] = [
 ];
 
 fn main() {
+    let opts = parse_opts();
     banner(
         "SC ablation (§5.5)",
         "Reunion commercial average under TSO vs sequential consistency",
@@ -33,12 +34,14 @@ fn main() {
         "sc_ablation",
         "Reunion commercial average under TSO vs sequential consistency",
     )
-    .sample(sample_config())
+    .sample(opts.sample())
     .workloads(commercial_workloads())
     .modes(&[ExecutionMode::Reunion])
     .patches(patches)
     .build();
-    let report = run_and_emit(&grid);
+    let Some(report) = run_and_emit(&grid) else {
+        return;
+    };
 
     println!(
         "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",

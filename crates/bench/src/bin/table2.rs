@@ -1,18 +1,21 @@
 //! Table 2: application parameters of the workload suite.
 
-use reunion_bench::{banner, run_and_emit, sample_config, workloads};
+use reunion_bench::{banner, parse_opts, run_and_emit, workloads};
 use reunion_core::ExecutionMode;
 use reunion_sim::{ExperimentGrid, Metric};
 
 fn main() {
+    let opts = parse_opts();
     banner("Table 2", "Application parameters (synthetic suite)");
     let grid = ExperimentGrid::builder("table2", "Application parameters (synthetic suite)")
         .metric(Metric::Static)
-        .sample(sample_config())
+        .sample(opts.sample())
         .workloads(workloads())
         .modes(&[ExecutionMode::NonRedundant])
         .build();
-    let report = run_and_emit(&grid);
+    let Some(report) = run_and_emit(&grid) else {
+        return;
+    };
 
     println!(
         "{:<12} {:<11} {:>9} {:>9} {:>6} {:>7} {:>9} {:>10}",

@@ -1,7 +1,7 @@
 //! Table 3: input-incoherence events per million instructions for each
 //! phantom-request strength, juxtaposed with TLB misses.
 
-use reunion_bench::{banner, run_and_emit, sample_config, workloads};
+use reunion_bench::{banner, parse_opts, run_and_emit, workloads};
 use reunion_core::ExecutionMode;
 use reunion_mem::PhantomStrength;
 use reunion_sim::{ConfigPatch, ExperimentGrid, Metric};
@@ -12,7 +12,19 @@ const STRENGTHS: [PhantomStrength; 3] = [
     PhantomStrength::Null,
 ];
 
+/// How many cycles em3d's widened measured window must cover.
+///
+/// em3d's incoherence rate under global phantoms sits near the bottom of
+/// the paper's 0.2–21 /1M band, below the single-event resolution of the
+/// shared profiles (zero events resolve in ~100k measured cycles, printing
+/// a misleading 0.0); its first event lands near 25M measured cycles under
+/// either profile. The widened window gives it enough retired instructions
+/// for that event to resolve inside the band; the work-stealing runner
+/// absorbs the extra cost by scheduling the em3d cells first.
+const EM3D_MEASURED_CYCLES: u64 = 32_000_000;
+
 fn main() {
+    let opts = parse_opts();
     banner(
         "Table 3",
         "Input incoherence per 1M instructions by phantom strength; TLB misses",
@@ -22,7 +34,11 @@ fn main() {
         "Input incoherence per 1M instructions by phantom strength; TLB misses",
     )
     .metric(Metric::Raw)
-    .sample(sample_config())
+    .sample(opts.sample())
+    .sample_override(
+        "em3d",
+        opts.sample().widened_to_cycles(EM3D_MEASURED_CYCLES),
+    )
     .workloads(workloads())
     .modes(&[ExecutionMode::Reunion])
     .patches(
@@ -32,7 +48,9 @@ fn main() {
             .collect(),
     )
     .build();
-    let report = run_and_emit(&grid);
+    let Some(report) = run_and_emit(&grid) else {
+        return;
+    };
 
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10}",
@@ -64,8 +82,9 @@ fn main() {
     println!("--------------------------------------------------------------");
     let sci_avg = sci_global.iter().sum::<f64>() / sci_global.len() as f64;
     println!("scientific average (global phantoms): {sci_avg:.1} /1M  (paper band: 0.2-21)");
-    println!("(coarsest single-event resolution at this profile: {sci_resolution:.1} /1M;");
-    println!(" a 0.0 entry means zero events resolved in the measured window.)");
+    let em3d_mcycles = EM3D_MEASURED_CYCLES / 1_000_000;
+    println!("(em3d is measured over a widened ~{em3d_mcycles}M-cycle window so its rare");
+    println!(" events resolve; coarsest single-event resolution: {sci_resolution:.1} /1M.)");
     println!("(paper: global 0.2-21 /1M — orders of magnitude below TLB misses;");
     println!(" shared/null 1.8k-23k /1M, 3-4 orders above global.)");
 }

@@ -1,25 +1,38 @@
 //! Shared harness for the experiment binaries.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure from the
-//! paper's evaluation by declaring an [`ExperimentGrid`](reunion_sim::ExperimentGrid)
-//! and handing it to [`run_and_emit`]; the grid's cells execute in parallel
+//! paper's evaluation by declaring an [`ExperimentGrid`] and handing it to
+//! [`run_and_emit`]; the grid's cells execute in parallel
 //! through [`reunion_sim::Runner`] and the resulting report both drives the
 //! printed table and lands on disk as `BENCH_<id>.json`.
 //! Run e.g. `cargo run --release -p reunion-bench --bin fig5`.
 //!
+//! Command line (shared by all eight figure/table binaries):
+//!
+//! * `--profile full|fast` — sampling profile: the paper's full
+//!   methodology, or the shortened smoke/CI profile (see
+//!   [`Profile`]).
+//!
 //! Environment knobs:
 //!
-//! * `REUNION_FAST=1` — shortened sampling profile for smoke runs,
+//! * `REUNION_PROFILE=full|fast` — profile default when `--profile` is
+//!   absent; `REUNION_FAST=1` is the legacy spelling of `fast`,
+//! * `REUNION_SHARD=i/N` — run only shard `i` of an `N`-way partition of
+//!   the grid, appending per-cell results to a resumable manifest instead
+//!   of writing `BENCH_<id>.json` (combine with `merge_shards`),
 //! * `REUNION_SERIAL=1` — single-threaded execution (determinism checks),
 //! * `REUNION_THREADS=<n>` — cap the worker threads,
-//! * `REUNION_OUT_DIR=<dir>` — where `BENCH_<id>.json` is written.
+//! * `REUNION_OUT_DIR=<dir>` — where `BENCH_<id>.json` reports and
+//!   `MANIFEST_*.jsonl` shard manifests are written.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use reunion_core::{ClassSummary, SampleConfig};
-use reunion_sim::{env_flag, ExperimentGrid, ExperimentReport, Runner};
+use reunion_sim::{env_flag, out_dir, ExperimentGrid, ExperimentReport, Runner, ShardSpec};
 use reunion_workloads::{suite, Workload, WorkloadClass};
+
+pub use reunion_core::Profile;
 
 /// The comparison latencies of the paper's sensitivity sweeps — the shared
 /// x-axis of Figure 6, Figure 7(b) and the SC ablation.
@@ -36,23 +49,60 @@ pub fn keyed_latency_label(key: &str, latency: u64) -> String {
     format!("{key}:lat={latency}")
 }
 
-/// The sampling profile used by all experiments: the paper's 100k-cycle
-/// warm-up and 50k-cycle windows, or a quick profile when `REUNION_FAST=1`
-/// is set.
-pub fn sample_config() -> SampleConfig {
-    if env_flag("REUNION_FAST") {
-        SampleConfig {
-            warmup: 20_000,
-            window: 20_000,
-            windows: 2,
-        }
-    } else {
-        SampleConfig {
-            warmup: 100_000,
-            window: 50_000,
-            windows: 4,
+/// Options shared by every experiment binary, parsed by [`parse_opts`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BenchOpts {
+    /// The sampling profile the run measures under.
+    pub profile: Profile,
+}
+
+impl BenchOpts {
+    /// The sampling parameters the selected profile maps to.
+    pub fn sample(&self) -> SampleConfig {
+        self.profile.sample()
+    }
+}
+
+/// Parses the shared experiment command line from `std::env::args`.
+///
+/// Precedence for the profile: `--profile full|fast` (also
+/// `--profile=<p>`), then `REUNION_PROFILE`, then the legacy
+/// `REUNION_FAST=1` spelling of `fast`, then the paper's full profile.
+/// Unrecognized arguments print usage and exit with status 2, so a typo
+/// can never silently run the (expensive) default configuration.
+pub fn parse_opts() -> BenchOpts {
+    match try_parse_opts(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("usage: <binary> [--profile full|fast]");
+            std::process::exit(2);
         }
     }
+}
+
+fn try_parse_opts(args: impl Iterator<Item = String>) -> Result<BenchOpts, String> {
+    let mut profile = None;
+    let mut it = args;
+    while let Some(arg) = it.next() {
+        if arg == "--profile" {
+            let value = it.next().ok_or("--profile requires a value (full|fast)")?;
+            profile = Some(value.parse()?);
+        } else if let Some(value) = arg.strip_prefix("--profile=") {
+            profile = Some(value.parse()?);
+        } else {
+            return Err(format!("unrecognized argument {arg:?}"));
+        }
+    }
+    let profile = match profile {
+        Some(p) => p,
+        None => match std::env::var("REUNION_PROFILE") {
+            Ok(v) => v.parse().map_err(|e| format!("REUNION_PROFILE: {e}"))?,
+            Err(_) if env_flag("REUNION_FAST") => Profile::Fast,
+            Err(_) => Profile::Full,
+        },
+    };
+    Ok(BenchOpts { profile })
 }
 
 /// Prints a figure/table banner.
@@ -76,19 +126,57 @@ pub fn commercial_workloads() -> Vec<Workload> {
         .collect()
 }
 
-/// Executes the grid with an environment-configured
-/// [`Runner`] and persists the report as `BENCH_<id>.json`.
+/// Executes the grid and persists its artifact.
 ///
 /// This is the single entry point every experiment binary funnels through:
 /// no binary runs simulations in a hand-rolled loop.
-pub fn run_and_emit(grid: &ExperimentGrid) -> ExperimentReport {
+///
+/// Without `REUNION_SHARD`, the whole grid runs on an
+/// environment-configured [`Runner`], `BENCH_<id>.json` lands in
+/// [`out_dir`], and the report is returned for table printing.
+///
+/// With `REUNION_SHARD=i/N`, only shard `i`'s cells run; each finished
+/// cell streams to the shard's resumable manifest under [`out_dir`] and
+/// `None` is returned — there is no complete report to print until every
+/// shard has run and `merge_shards` has combined the manifests (the merged
+/// `BENCH_<id>.json` is byte-identical to a single-process run's).
+pub fn run_and_emit(grid: &ExperimentGrid) -> Option<ExperimentReport> {
     let runner = Runner::from_env();
-    let report = runner.run(grid);
-    match report.write_json_default() {
-        Ok(path) => println!("[report: {}]", path.display()),
-        Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", report.id),
+    let shard = ShardSpec::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let Some(shard) = shard else {
+        let report = runner.run(grid);
+        match report.write_json_default() {
+            Ok(path) => println!("[report: {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", report.id),
+        }
+        return Some(report);
+    };
+    let dir = out_dir();
+    match runner.run_shard(grid, shard, &dir) {
+        Ok(outcome) => {
+            println!(
+                "[shard {shard} of {}: {} cells owned, {} resumed, {} executed]",
+                grid.id(),
+                outcome.owned_cells,
+                outcome.resumed,
+                outcome.executed,
+            );
+            println!("[manifest: {}]", outcome.manifest_path.display());
+            println!(
+                "[once all {} shards have run: merge_shards {}]",
+                shard.count(),
+                dir.display(),
+            );
+            None
+        }
+        Err(e) => {
+            eprintln!("shard {shard} of {} failed: {e}", grid.id());
+            std::process::exit(1);
+        }
     }
-    report
 }
 
 /// Averages `(class, value)` pairs per class, in presentation order.
@@ -123,6 +211,26 @@ pub fn commercial_scientific_averages(rows: &[(WorkloadClass, f64)]) -> (f64, f6
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchOpts, String> {
+        try_parse_opts(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn profile_flag_both_spellings() {
+        assert_eq!(
+            parse(&["--profile", "fast"]).unwrap().profile,
+            Profile::Fast
+        );
+        assert_eq!(parse(&["--profile=full"]).unwrap().profile, Profile::Full);
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--profile"]).is_err());
+        assert!(parse(&["--profile", "slow"]).is_err());
+    }
 
     #[test]
     fn class_averages_cover_all_classes() {

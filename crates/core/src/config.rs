@@ -43,6 +43,21 @@ impl std::fmt::Display for ExecutionMode {
     }
 }
 
+impl std::str::FromStr for ExecutionMode {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) form — the spelling used by
+    /// `BENCH_<id>.json` records and shard manifests.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "non-redundant" => Ok(ExecutionMode::NonRedundant),
+            "strict" => Ok(ExecutionMode::Strict),
+            "reunion" => Ok(ExecutionMode::Reunion),
+            other => Err(format!("unknown execution mode {other:?}")),
+        }
+    }
+}
+
 /// Full configuration of a simulated CMP.
 ///
 /// [`SystemConfig::table1`] reproduces the paper's system; tests use

@@ -37,7 +37,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 mod metrics;
@@ -48,5 +48,5 @@ mod system;
 pub use config::{ExecutionMode, SystemConfig};
 pub use metrics::{ClassSummary, Measurement, NormalizedResult};
 pub use pair::{PairDriver, PairStats, RecoveryPhase};
-pub use sampling::{measure, normalized_ipc, SampleConfig};
+pub use sampling::{measure, normalized_ipc, Profile, SampleConfig};
 pub use system::{CmpSystem, SystemStats};

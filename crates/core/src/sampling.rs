@@ -7,10 +7,65 @@
 //! run per configuration, split into windows after a warm-up phase, with
 //! per-window matched-pair IPC ratios against the baseline.
 
+use std::fmt;
+use std::str::FromStr;
+
 use reunion_kernel::stats::RunningStats;
 use reunion_workloads::Workload;
 
 use crate::{CmpSystem, ExecutionMode, Measurement, NormalizedResult, SystemConfig, SystemStats};
+
+/// The two sampling profiles of the evaluation.
+///
+/// Every experiment binary accepts `--profile full|fast` (and the
+/// `REUNION_FAST=1` / `REUNION_PROFILE` environment overrides) and maps the
+/// choice onto a [`SampleConfig`] via [`Profile::sample`]:
+///
+/// * [`Profile::Full`] — the paper's methodology (100k-cycle warm-up,
+///   four 50k-cycle windows). This is the profile the fidelity bands in
+///   ROADMAP.md must ultimately hold under, and the run that is worth
+///   sharding across machines (`REUNION_SHARD`).
+/// * [`Profile::Fast`] — a shortened profile for smoke runs and the CI
+///   trajectory gate (20k-cycle warm-up, two 20k-cycle windows).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// The paper's full sampling methodology.
+    #[default]
+    Full,
+    /// Shortened sampling for smoke runs and CI.
+    Fast,
+}
+
+impl Profile {
+    /// The sampling parameters this profile selects.
+    pub fn sample(self) -> SampleConfig {
+        match self {
+            Profile::Full => SampleConfig::full(),
+            Profile::Fast => SampleConfig::fast(),
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Profile::Full => "full",
+            Profile::Fast => "fast",
+        })
+    }
+}
+
+impl FromStr for Profile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(Profile::Full),
+            "fast" => Ok(Profile::Fast),
+            other => Err(format!("unknown profile {other:?} (expected full|fast)")),
+        }
+    }
+}
 
 /// Sampling parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +99,48 @@ impl SampleConfig {
             window: 10_000,
             windows: 2,
         }
+    }
+
+    /// The paper's full profile: 100k-cycle warm-up, four 50k-cycle
+    /// measurement windows (same as [`Default`]).
+    pub fn full() -> Self {
+        SampleConfig::default()
+    }
+
+    /// The shortened profile used by `REUNION_FAST=1` smoke runs and the CI
+    /// trajectory gate: 20k-cycle warm-up, two 20k-cycle windows.
+    pub fn fast() -> Self {
+        SampleConfig {
+            warmup: 20_000,
+            window: 20_000,
+            windows: 2,
+        }
+    }
+
+    /// This profile with the measured portion widened `factor`-fold (more
+    /// windows, same window length), leaving the warm-up untouched.
+    ///
+    /// Used where a workload's event rate is below the single-event
+    /// resolution of the shared profile — e.g. `table3` widens em3d until
+    /// one input-incoherence event resolves inside the paper's band.
+    pub fn widened(&self, factor: usize) -> Self {
+        SampleConfig {
+            warmup: self.warmup,
+            window: self.window,
+            windows: self.windows * factor.max(1),
+        }
+    }
+
+    /// This profile [`widened`](Self::widened) until the measured portion
+    /// covers at least `cycles` simulated cycles.
+    ///
+    /// Event-rate floors are naturally cycle counts, not factors: the same
+    /// target yields an equivalent measured window under the full and fast
+    /// profiles, so a rare event that resolves under one resolves under
+    /// both.
+    pub fn widened_to_cycles(&self, cycles: u64) -> Self {
+        let per_factor = (self.window * self.windows as u64).max(1);
+        self.widened(cycles.div_ceil(per_factor) as usize)
     }
 }
 

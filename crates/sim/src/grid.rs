@@ -62,6 +62,7 @@ pub struct ExperimentGrid {
     caption: String,
     metric: Metric,
     sample: SampleConfig,
+    sample_overrides: Vec<(String, SampleConfig)>,
     base: fn(ExecutionMode) -> SystemConfig,
     cells: Vec<Cell>,
 }
@@ -75,6 +76,7 @@ impl ExperimentGrid {
             caption: caption.into(),
             metric: Metric::default(),
             sample: SampleConfig::default(),
+            sample_overrides: Vec::new(),
             base: SystemConfig::table1,
             workloads: Vec::new(),
             modes: vec![ExecutionMode::Reunion],
@@ -97,9 +99,25 @@ impl ExperimentGrid {
         self.metric
     }
 
-    /// The sampling profile shared by every cell.
+    /// The sampling profile shared by every cell (unless overridden per
+    /// workload — see [`cell_sample`](Self::cell_sample)).
     pub fn sample(&self) -> &SampleConfig {
         &self.sample
+    }
+
+    /// Per-workload sampling overrides, in declaration order.
+    pub fn sample_overrides(&self) -> &[(String, SampleConfig)] {
+        &self.sample_overrides
+    }
+
+    /// The sampling profile one cell measures under: the workload's
+    /// override if one was declared, the grid-wide profile otherwise.
+    pub fn cell_sample(&self, cell: &Cell) -> &SampleConfig {
+        self.sample_overrides
+            .iter()
+            .find(|(name, _)| name == cell.workload.name())
+            .map(|(_, s)| s)
+            .unwrap_or(&self.sample)
     }
 
     /// The base configuration constructor (patches apply on top of this).
@@ -127,6 +145,7 @@ pub struct GridBuilder {
     caption: String,
     metric: Metric,
     sample: SampleConfig,
+    sample_overrides: Vec<(String, SampleConfig)>,
     base: fn(ExecutionMode) -> SystemConfig,
     workloads: Vec<Workload>,
     modes: Vec<ExecutionMode>,
@@ -143,6 +162,18 @@ impl GridBuilder {
     /// Sets the sampling profile (default: the paper's profile).
     pub fn sample(mut self, sample: SampleConfig) -> Self {
         self.sample = sample;
+        self
+    }
+
+    /// Overrides the sampling profile for one workload's cells.
+    ///
+    /// Used where a workload's event rate is below the single-event
+    /// resolution of the shared profile: `table3` widens em3d's measured
+    /// window until one input-incoherence event resolves inside the
+    /// paper's band. Overrides are part of the grid contract and are
+    /// recorded in the report (and shard-manifest headers).
+    pub fn sample_override(mut self, workload: impl Into<String>, sample: SampleConfig) -> Self {
+        self.sample_overrides.push((workload.into(), sample));
         self
     }
 
@@ -213,11 +244,20 @@ impl GridBuilder {
                 }
             }
         }
+        for (workload, _) in &self.sample_overrides {
+            assert!(
+                self.workloads.iter().any(|w| w.name() == workload),
+                "grid {:?}: sample override for unknown workload {:?}",
+                self.id,
+                workload
+            );
+        }
         ExperimentGrid {
             id: self.id,
             caption: self.caption,
             metric: self.metric,
             sample: self.sample,
+            sample_overrides: self.sample_overrides,
             base: self.base,
             cells,
         }
@@ -268,6 +308,34 @@ mod tests {
         assert_eq!(cfg.comparison_latency, 33);
         // Everything else is small_test.
         assert_eq!(cfg.logical_processors, 2);
+    }
+
+    #[test]
+    fn sample_override_applies_to_one_workload_only() {
+        let wide = SampleConfig {
+            warmup: 1_000,
+            window: 1_000,
+            windows: 64,
+        };
+        let grid = ExperimentGrid::builder("t", "t")
+            .sample(SampleConfig::quick())
+            .sample_override("moldyn", wide)
+            .workloads(two_workloads())
+            .build();
+        let sparse = &grid.cells()[0];
+        let moldyn = &grid.cells()[1];
+        assert_eq!(grid.cell_sample(sparse), &SampleConfig::quick());
+        assert_eq!(grid.cell_sample(moldyn), &wide);
+        assert_eq!(grid.sample_overrides().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample override for unknown workload")]
+    fn sample_override_must_name_a_grid_workload() {
+        ExperimentGrid::builder("t", "t")
+            .sample_override("nope", SampleConfig::quick())
+            .workloads(two_workloads())
+            .build();
     }
 
     #[test]

@@ -15,7 +15,8 @@
 use std::fmt;
 use std::fmt::Write as _;
 
-/// Streaming JSON writer with two-space pretty printing.
+/// Streaming JSON writer with two-space pretty printing (or single-line
+/// compact output for line-oriented files such as shard manifests).
 #[derive(Debug, Default)]
 pub struct JsonWriter {
     out: String,
@@ -23,12 +24,24 @@ pub struct JsonWriter {
     stack: Vec<bool>,
     /// Set between `key()` and the value that follows it.
     pending_key: bool,
+    /// Suppress all newlines and indentation (one document per line).
+    compact: bool,
 }
 
 impl JsonWriter {
-    /// Creates an empty writer.
+    /// Creates an empty pretty-printing writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a writer that emits the whole document on a single line —
+    /// the format of shard-manifest (`MANIFEST_*.jsonl`) entries, where one
+    /// line is one appended record.
+    pub fn compact() -> Self {
+        JsonWriter {
+            compact: true,
+            ..Self::default()
+        }
     }
 
     /// Consumes the writer, returning the serialized document.
@@ -42,6 +55,9 @@ impl JsonWriter {
     }
 
     fn newline_indent(&mut self) {
+        if self.compact {
+            return;
+        }
         self.out.push('\n');
         for _ in 0..self.stack.len() {
             self.out.push_str("  ");
@@ -460,6 +476,23 @@ mod tests {
             s,
             "{\n  \"id\": \"fig5\",\n  \"records\": [\n    {\n      \"ipc\": 1.5,\n      \"cycles\": 42\n    }\n  ],\n  \"empty\": []\n}"
         );
+    }
+
+    #[test]
+    fn compact_writer_stays_on_one_line() {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        w.field_str("id", "fig5");
+        w.key("records");
+        w.begin_array();
+        w.u64(1);
+        w.f64(0.5);
+        w.end_array();
+        w.end_object();
+        let s = w.finish();
+        assert!(!s.contains('\n'), "compact output must be single-line: {s}");
+        let v = parse_json(&s).unwrap();
+        assert_eq!(v.get("id").and_then(JsonValue::as_str), Some("fig5"));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Experiment-runner subsystem: declarative grids, parallel execution,
-//! structured reports.
+//! Experiment-runner subsystem: declarative grids, parallel/sharded
+//! execution, resumable manifests, structured reports.
 //!
 //! The paper's evaluation is a pile of cartesian products — every figure
 //! and table sweeps (workload × execution mode × one or two configuration
@@ -8,22 +8,32 @@
 //!
 //! * [`ExperimentGrid`] — a *declarative* description of one experiment:
 //!   the workload/mode/patch axes, the base [`SystemConfig`] they override,
-//!   the sampling profile, and what to measure per cell ([`Metric`]).
+//!   the sampling profile (with optional per-workload overrides), and what
+//!   to measure per cell ([`Metric`]).
 //! * [`ConfigPatch`] — a labeled sparse override (comparison latency,
 //!   phantom strength, TLB model, consistency, fingerprint interval, …).
-//! * [`Runner`] — executes cells across OS threads. Each cell simulates an
-//!   independent, fully-seeded `CmpSystem` (or matched pair), so execution
-//!   order cannot affect results; `REUNION_SERIAL=1` forces the
-//!   single-threaded fallback and `REUNION_THREADS=<n>` caps the workers.
+//! * [`Runner`] — executes cells across OS threads, pulling work from a
+//!   work-stealing [`CellQueue`] so heterogeneous cells don't straggle.
+//!   `REUNION_SERIAL=1` forces the single-threaded fallback and
+//!   `REUNION_THREADS=<n>` caps the workers.
+//! * [`ShardSpec`] / [`ShardManifest`] / [`merge_manifests`] — sharded,
+//!   resumable execution: `REUNION_SHARD=i/N` (or the programmatic
+//!   [`ShardSpec`] API) selects a deterministic round-robin slice of the
+//!   grid, [`Runner::run_shard`] streams each finished cell to a crash-safe
+//!   manifest so an interrupted run resumes instead of restarting, and
+//!   merging a complete partition reproduces the single-process report
+//!   byte for byte.
 //! * [`ExperimentReport`] / [`RunRecord`] — results in grid enumeration
 //!   order with lookup and aggregation helpers, plus a deterministic JSON
 //!   serializer; [`ExperimentReport::write_json_default`] emits the
 //!   `BENCH_<id>.json` trajectory artifact the benchmarks are tracked by.
 //!
-//! Determinism is a hard invariant: a parallel run and a serial run of the
-//! same grid produce **byte-identical** JSON (guarded by tests in
-//! [`runner`](crate::Runner)). This is what makes the N-core speed-up free:
-//! nothing about scheduling leaks into results.
+//! Determinism is a hard invariant: a parallel run, a serial run, and any
+//! `N`-way sharded-then-merged run of the same grid produce
+//! **byte-identical** JSON (guarded by tests in [`runner`](crate::Runner)
+//! and the `sharding` integration suite). This is what makes both the
+//! N-core speed-up and the N-machine fan-out free: nothing about
+//! scheduling or partitioning leaks into results.
 //!
 //! # Examples
 //!
@@ -48,21 +58,51 @@
 //! assert!(fast.normalized_ipc().unwrap() > 0.0);
 //! ```
 //!
+//! Sharded execution of the same grid (two "machines" here, one process):
+//!
+//! ```
+//! use reunion_core::{ExecutionMode, SampleConfig, SystemConfig};
+//! use reunion_sim::{merge_manifests, ExperimentGrid, Runner, ShardSpec};
+//! use reunion_workloads::Workload;
+//!
+//! let grid = ExperimentGrid::builder("doc_shard", "sharded run")
+//!     .base(SystemConfig::small_test)
+//!     .sample(SampleConfig::quick())
+//!     .workloads(vec![Workload::by_name("sparse").unwrap()])
+//!     .modes(&[ExecutionMode::NonRedundant, ExecutionMode::Reunion])
+//!     .build();
+//! let dir = std::env::temp_dir().join(format!("reunion-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let a = Runner::serial().run_shard(&grid, ShardSpec::new(1, 2), &dir).unwrap();
+//! let b = Runner::serial().run_shard(&grid, ShardSpec::new(2, 2), &dir).unwrap();
+//! let merged = merge_manifests(&[a.manifest_path, b.manifest_path]).unwrap();
+//! assert_eq!(merged.to_json(), Runner::serial().run(&grid).to_json());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
 //! [`SystemConfig`]: reunion_core::SystemConfig
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod grid;
 mod json;
+mod manifest;
+mod merge;
 mod patch;
 mod report;
 mod runner;
+mod scheduler;
+mod shard;
 
 pub use grid::{Cell, ExperimentGrid, GridBuilder, Metric};
 pub use json::{parse_json, JsonParseError, JsonValue, JsonWriter};
+pub use manifest::{read_manifest, ManifestHeader, ShardManifest};
+pub use merge::{find_manifests, merge_manifests, MergeError};
 pub use patch::ConfigPatch;
 pub use report::{
-    ExperimentReport, MeasureSummary, NormalizedSummary, Outcome, RunRecord, StaticSummary,
+    out_dir, ExperimentReport, MeasureSummary, NormalizedSummary, Outcome, RunRecord, StaticSummary,
 };
-pub use runner::{env_flag, Runner};
+pub use runner::{env_flag, Runner, ShardRunOutcome};
+pub use scheduler::{cell_cost, CellQueue};
+pub use shard::ShardSpec;

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use reunion_core::{ExecutionMode, Measurement, NormalizedResult, SampleConfig};
 use reunion_workloads::{Workload, WorkloadClass};
 
-use crate::json::JsonWriter;
+use crate::json::{JsonValue, JsonWriter};
 
 /// Flattened single-system measurement (one side of a matched pair).
 #[derive(Clone, Debug, PartialEq)]
@@ -70,7 +70,7 @@ impl From<&Measurement> for MeasureSummary {
 }
 
 impl MeasureSummary {
-    fn write_json(&self, w: &mut JsonWriter) {
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
         w.begin_object();
         w.field_f64("ipc", self.ipc);
         w.field_f64("ipc_ci95", self.ipc_ci95);
@@ -90,6 +90,96 @@ impl MeasureSummary {
         w.field_f64("tlb_misses_per_million", self.tlb_misses_per_million);
         w.end_object();
     }
+
+    pub(crate) fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(MeasureSummary {
+            ipc: f64_field(v, "ipc")?,
+            ipc_ci95: f64_field(v, "ipc_ci95")?,
+            user_instructions: u64_field(v, "user_instructions")?,
+            cycles: u64_field(v, "cycles")?,
+            mismatches: u64_field(v, "mismatches")?,
+            input_incoherence: u64_field(v, "input_incoherence")?,
+            recoveries: u64_field(v, "recoveries")?,
+            phase2: u64_field(v, "phase2")?,
+            failures: u64_field(v, "failures")?,
+            sync_requests: u64_field(v, "sync_requests")?,
+            tlb_misses: u64_field(v, "tlb_misses")?,
+            phantom_garbage_fills: u64_field(v, "phantom_garbage_fills")?,
+            serializing_stall_cycles: u64_field(v, "serializing_stall_cycles")?,
+            reexec_penalty_cycles: u64_field(v, "reexec_penalty_cycles")?,
+            incoherence_per_million: f64_field(v, "incoherence_per_million")?,
+            tlb_misses_per_million: f64_field(v, "tlb_misses_per_million")?,
+        })
+    }
+}
+
+/// A float leaf; `null` reads back as NaN, mirroring the writer's encoding
+/// of non-finite values.
+fn f64_field(v: &JsonValue, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(JsonValue::Num(n)) => Ok(*n),
+        Some(JsonValue::Null) => Ok(f64::NAN),
+        Some(other) => Err(format!("field {key:?}: expected number, got {other:?}")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+/// An unsigned-counter leaf. Counters are parsed through `f64` (the only
+/// numeric type of the JSON subset), which is exact below 2^53 — far above
+/// any cycle or instruction count these simulations produce.
+pub(crate) fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    let n = f64_field(v, key)?;
+    if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0 {
+        Ok(n as u64)
+    } else {
+        Err(format!("field {key:?}: {n} is not a u64 counter"))
+    }
+}
+
+pub(crate) fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+/// Writes a [`SampleConfig`] as the `{warmup, window, windows}` object used
+/// by both `BENCH_<id>.json` and shard-manifest headers.
+pub(crate) fn write_sample_json(w: &mut JsonWriter, sample: &SampleConfig) {
+    w.begin_object();
+    w.field_u64("warmup", sample.warmup);
+    w.field_u64("window", sample.window);
+    w.field_u64("windows", sample.windows as u64);
+    w.end_object();
+}
+
+/// Parses the `{warmup, window, windows}` object form of a [`SampleConfig`].
+pub(crate) fn sample_from_json(v: &JsonValue) -> Result<SampleConfig, String> {
+    Ok(SampleConfig {
+        warmup: u64_field(v, "warmup")?,
+        window: u64_field(v, "window")?,
+        windows: u64_field(v, "windows")? as usize,
+    })
+}
+
+/// Writes one per-workload sampling override in the flat
+/// `{workload, warmup, window, windows}` shape — the one schema shared by
+/// `BENCH_<id>.json` reports and shard-manifest headers.
+pub(crate) fn write_sample_override_json(
+    w: &mut JsonWriter,
+    workload: &str,
+    sample: &SampleConfig,
+) {
+    w.begin_object();
+    w.field_str("workload", workload);
+    w.field_u64("warmup", sample.warmup);
+    w.field_u64("window", sample.window);
+    w.field_u64("windows", sample.windows as u64);
+    w.end_object();
+}
+
+/// Parses the flat override shape written by [`write_sample_override_json`].
+pub(crate) fn sample_override_from_json(v: &JsonValue) -> Result<(String, SampleConfig), String> {
+    Ok((str_field(v, "workload")?.to_string(), sample_from_json(v)?))
 }
 
 /// Matched-pair result: the model system and its non-redundant baseline.
@@ -204,7 +294,7 @@ impl RunRecord {
         }
     }
 
-    fn write_json(&self, w: &mut JsonWriter) {
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
         w.begin_object();
         w.field_str("workload", &self.workload);
         w.field_str("class", &self.class.to_string());
@@ -234,6 +324,43 @@ impl RunRecord {
         }
         w.end_object();
     }
+
+    /// Parses the JSON form produced by [`write_json`](Self::write_json) —
+    /// how shard manifests and `BENCH_<id>.json` records are read back.
+    ///
+    /// Round-tripping is exact: floats use shortest round-trip formatting,
+    /// so parse-then-reserialize reproduces the original bytes (the property
+    /// the sharded/merged byte-identity guarantee rests on).
+    pub(crate) fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let outcome = if v.get("normalized_ipc").is_some() {
+            Outcome::Normalized(NormalizedSummary {
+                normalized_ipc: f64_field(v, "normalized_ipc")?,
+                ci95: f64_field(v, "ci95")?,
+                model: MeasureSummary::from_json(v.get("model").ok_or("missing field \"model\"")?)?,
+                baseline: MeasureSummary::from_json(
+                    v.get("baseline").ok_or("missing field \"baseline\"")?,
+                )?,
+            })
+        } else if let Some(m) = v.get("measurement") {
+            Outcome::Raw(MeasureSummary::from_json(m)?)
+        } else {
+            Outcome::Static(StaticSummary {
+                private_bytes: u64_field(v, "private_bytes")?,
+                shared_bytes: u64_field(v, "shared_bytes")?,
+                locks: u64_field(v, "locks")?,
+                critical_section_len: u64_field(v, "critical_section_len")?,
+                itlb_miss_per_million: u64_field(v, "itlb_miss_per_million")?,
+                static_len: u64_field(v, "static_len")?,
+            })
+        };
+        Ok(RunRecord {
+            workload: str_field(v, "workload")?.to_string(),
+            class: str_field(v, "class")?.parse()?,
+            mode: str_field(v, "mode")?.parse()?,
+            patch: str_field(v, "patch")?.to_string(),
+            outcome,
+        })
+    }
 }
 
 /// All records of one experiment, in grid enumeration order.
@@ -251,8 +378,11 @@ pub struct ExperimentReport {
     pub id: String,
     /// Human-readable caption.
     pub caption: String,
-    /// Sampling profile every cell used.
+    /// Sampling profile every cell used, unless overridden per workload.
     pub sample: SampleConfig,
+    /// Per-workload sampling overrides (e.g. `table3` widens em3d's
+    /// measured window); empty for most grids.
+    pub sample_overrides: Vec<(String, SampleConfig)>,
     /// One record per grid cell, in grid enumeration order.
     pub records: Vec<RunRecord>,
 }
@@ -312,11 +442,15 @@ impl ExperimentReport {
         w.field_str("id", &self.id);
         w.field_str("caption", &self.caption);
         w.key("sample");
-        w.begin_object();
-        w.field_u64("warmup", self.sample.warmup);
-        w.field_u64("window", self.sample.window);
-        w.field_u64("windows", self.sample.windows as u64);
-        w.end_object();
+        write_sample_json(&mut w, &self.sample);
+        if !self.sample_overrides.is_empty() {
+            w.key("sample_overrides");
+            w.begin_array();
+            for (workload, sample) in &self.sample_overrides {
+                write_sample_override_json(&mut w, workload, sample);
+            }
+            w.end_array();
+        }
         w.key("records");
         w.begin_array();
         for r in &self.records {
@@ -329,16 +463,21 @@ impl ExperimentReport {
         s
     }
 
-    /// Writes `BENCH_<id>.json` under `$REUNION_OUT_DIR` (default: the
-    /// current directory) and returns the path.
+    /// Writes `BENCH_<id>.json` under [`out_dir`] and returns the path.
     pub fn write_json_default(&self) -> io::Result<PathBuf> {
-        let dir = std::env::var_os("REUNION_OUT_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("."));
-        let path = dir.join(format!("BENCH_{}.json", self.id));
+        let path = out_dir().join(format!("BENCH_{}.json", self.id));
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
+}
+
+/// The artifact directory every experiment binary reads and writes:
+/// `$REUNION_OUT_DIR`, or the current directory when unset. Holds both the
+/// `BENCH_<id>.json` reports and the `MANIFEST_*.jsonl` shard manifests.
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("REUNION_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
 }
 
 #[cfg(test)]
@@ -390,6 +529,7 @@ mod tests {
             id: "t".into(),
             caption: "t".into(),
             sample: SampleConfig::quick(),
+            sample_overrides: Vec::new(),
             records: vec![
                 sample_record("db2", ExecutionMode::Reunion, "base", 0.9),
                 sample_record("sparse", ExecutionMode::Reunion, "base", 0.7),

@@ -1,14 +1,18 @@
-//! Parallel execution of experiment grids.
+//! Parallel, sharded, resumable execution of experiment grids.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use reunion_core::{measure, normalized_ipc};
 
 use crate::grid::{Cell, ExperimentGrid, Metric};
+use crate::manifest::{ManifestHeader, ShardManifest};
 use crate::report::{
     ExperimentReport, MeasureSummary, NormalizedSummary, Outcome, RunRecord, StaticSummary,
 };
+use crate::scheduler::CellQueue;
+use crate::shard::ShardSpec;
 
 /// Executes the cells of an [`ExperimentGrid`] and assembles an
 /// [`ExperimentReport`].
@@ -18,7 +22,15 @@ use crate::report::{
 /// so cells can run on any number of OS threads in any order; records are
 /// reassembled in grid enumeration order afterwards. A parallel run and a
 /// serial run of the same grid therefore produce byte-identical reports —
-/// `reunion-sim`'s determinism guard tests exactly that.
+/// `reunion-sim`'s determinism guard tests exactly that. Workers pull cells
+/// from a work-stealing [`CellQueue`], so heterogeneous cells (full-profile
+/// sampling next to fast cells) cannot leave one thread straggling.
+///
+/// For grids too slow for one machine, [`Runner::run_shard`] executes one
+/// [`ShardSpec`] slice of the grid, streaming each finished cell to a
+/// crash-safe shard manifest; `merge_shards` (or
+/// [`crate::merge_manifests`]) later combines the manifests into the same
+/// byte-identical `BENCH_<id>.json`.
 ///
 /// # Environment
 ///
@@ -26,6 +38,9 @@ use crate::report::{
 ///
 /// * `REUNION_SERIAL=1` — force single-threaded execution,
 /// * `REUNION_THREADS=<n>` — cap the worker count (default: all cores).
+///
+/// The shard slice itself comes from `REUNION_SHARD=i/N` via
+/// [`ShardSpec::from_env`] (read by the bench harness, not by the runner).
 #[derive(Clone, Copy, Debug)]
 pub struct Runner {
     threads: usize,
@@ -37,6 +52,22 @@ pub struct Runner {
 /// `FOO=1` enables, anything else (including `FOO=0` or unset) disables.
 pub fn env_flag(name: &str) -> bool {
     std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
+/// What [`Runner::run_shard`] did: where the manifest lives and how much of
+/// the shard ran now versus was recovered from an interrupted run.
+#[derive(Clone, Debug)]
+pub struct ShardRunOutcome {
+    /// The manifest file holding this shard's per-cell records.
+    pub manifest_path: PathBuf,
+    /// The shard that was executed.
+    pub shard: ShardSpec,
+    /// Number of grid cells this shard owns.
+    pub owned_cells: usize,
+    /// Cells recovered from an earlier interrupted run's manifest.
+    pub resumed: usize,
+    /// Cells executed by this invocation.
+    pub executed: usize,
 }
 
 impl Runner {
@@ -88,23 +119,131 @@ impl Runner {
             id: grid.id().to_string(),
             caption: grid.caption().to_string(),
             sample: *grid.sample(),
+            sample_overrides: grid.sample_overrides().to_vec(),
             records,
+        }
+    }
+
+    /// Executes the slice of `grid` owned by `shard`, streaming every
+    /// finished cell to the shard's manifest under `dir` and resuming from
+    /// any compatible manifest already there.
+    ///
+    /// The manifest (`MANIFEST_<id>.shard<i>of<N>.jsonl`) is flushed after
+    /// each cell, so an interrupted run loses at most the cells in flight.
+    /// Re-invoking with the same grid and shard picks up where the previous
+    /// run stopped; a manifest written by a *different* grid, profile, or
+    /// partition is discarded, not merged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest I/O failures; the simulation itself cannot fail.
+    pub fn run_shard(
+        &self,
+        grid: &ExperimentGrid,
+        shard: ShardSpec,
+        dir: &Path,
+    ) -> io::Result<ShardRunOutcome> {
+        let header = ManifestHeader {
+            id: grid.id().to_string(),
+            caption: grid.caption().to_string(),
+            shard,
+            cells: grid.cells().len(),
+            sample: *grid.sample(),
+            sample_overrides: grid.sample_overrides().to_vec(),
+        };
+        let manifest = ShardManifest::create_or_resume(dir, header)?;
+        let owned = shard.cell_indices(grid.cells().len());
+        let todo: Vec<usize> = owned
+            .iter()
+            .copied()
+            .filter(|i| !manifest.completed().contains_key(i))
+            .collect();
+        let resumed = owned.len() - todo.len();
+        let executed = todo.len();
+        let manifest = Mutex::new(manifest);
+        self.execute_into_manifest(grid, &todo, &manifest)?;
+        let manifest = manifest
+            .into_inner()
+            .expect("worker panicked holding manifest");
+        Ok(ShardRunOutcome {
+            manifest_path: manifest.path().to_path_buf(),
+            shard,
+            owned_cells: owned.len(),
+            resumed,
+            executed,
+        })
+    }
+
+    /// Runs `indices` (cell indices into `grid`), appending each record to
+    /// `manifest` the moment it completes. Serial execution preserves index
+    /// order (so serial manifests are deterministic files); parallel
+    /// execution appends in completion order.
+    fn execute_into_manifest(
+        &self,
+        grid: &ExperimentGrid,
+        indices: &[usize],
+        manifest: &Mutex<ShardManifest>,
+    ) -> io::Result<()> {
+        let workers = self.threads.min(indices.len());
+        if workers <= 1 {
+            for &i in indices {
+                let record = run_cell(grid, &grid.cells()[i]);
+                manifest
+                    .lock()
+                    .expect("worker panicked holding manifest")
+                    .append(i, &record)?;
+            }
+            return Ok(());
+        }
+        let queue = CellQueue::new(grid, indices, workers);
+        let first_err: Mutex<Option<io::Error>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let queue = &queue;
+                let first_err = &first_err;
+                scope.spawn(move || {
+                    while let Some(i) = queue.pop(worker) {
+                        if first_err.lock().expect("error lock").is_some() {
+                            return;
+                        }
+                        let record = run_cell(grid, &grid.cells()[i]);
+                        let result = manifest
+                            .lock()
+                            .expect("worker panicked holding manifest")
+                            .append(i, &record);
+                        if let Err(e) = result {
+                            let mut slot = first_err.lock().expect("error lock");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        match first_err.into_inner().expect("error lock") {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
     fn run_parallel(&self, grid: &ExperimentGrid, cells: &[Cell]) -> Vec<RunRecord> {
         let workers = self.threads.min(cells.len());
-        let next = AtomicUsize::new(0);
+        let indices: Vec<usize> = (0..cells.len()).collect();
+        let queue = CellQueue::new(grid, &indices, workers);
         let done: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::with_capacity(cells.len()));
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    let record = run_cell(grid, cell);
-                    done.lock()
-                        .expect("worker panicked holding lock")
-                        .push((i, record));
+            for worker in 0..workers {
+                let queue = &queue;
+                let done = &done;
+                scope.spawn(move || {
+                    while let Some(i) = queue.pop(worker) {
+                        let record = run_cell(grid, &cells[i]);
+                        done.lock()
+                            .expect("worker panicked holding lock")
+                            .push((i, record));
+                    }
                 });
             }
         });
@@ -120,17 +259,18 @@ impl Runner {
 }
 
 /// Measures one cell. Pure apart from the simulation itself: the outcome is
-/// a function of (grid base config, cell, sample profile) only.
+/// a function of (grid base config, cell, cell sampling profile) only.
 fn run_cell(grid: &ExperimentGrid, cell: &Cell) -> RunRecord {
+    let sample = grid.cell_sample(cell);
     let outcome = match grid.metric() {
         Metric::Normalized => {
             let cfg = grid.cell_config(cell);
-            let n = normalized_ipc(&cfg, &cell.workload, grid.sample());
+            let n = normalized_ipc(&cfg, &cell.workload, sample);
             Outcome::Normalized(NormalizedSummary::from(&n))
         }
         Metric::Raw => {
             let cfg = grid.cell_config(cell);
-            let m = measure(&cfg, &cell.workload, grid.sample());
+            let m = measure(&cfg, &cell.workload, sample);
             Outcome::Raw(MeasureSummary::from(&m))
         }
         Metric::Static => Outcome::Static(StaticSummary::of(&cell.workload)),
@@ -211,5 +351,33 @@ mod tests {
         // just check the explicit constructors agree with is_serial().
         assert!(Runner::serial().is_serial());
         assert!(!Runner::with_threads(8).is_serial());
+    }
+
+    #[test]
+    fn sample_override_changes_measured_window() {
+        let wide = SampleConfig {
+            warmup: 10_000,
+            window: 10_000,
+            windows: 8,
+        };
+        let grid = ExperimentGrid::builder("widened", "sample override")
+            .metric(Metric::Raw)
+            .base(SystemConfig::small_test)
+            .sample(SampleConfig::quick())
+            .sample_override("moldyn", wide)
+            .workloads(vec![
+                Workload::by_name("sparse").unwrap(),
+                Workload::by_name("moldyn").unwrap(),
+            ])
+            .modes(&[ExecutionMode::Reunion])
+            .build();
+        let report = Runner::serial().run(&grid);
+        let sparse = report.records[0].raw().expect("raw outcome");
+        let moldyn = report.records[1].raw().expect("raw outcome");
+        // Four times the windows at the same window length: the widened
+        // workload must retire several times the instructions.
+        assert!(moldyn.user_instructions > 2 * sparse.user_instructions);
+        assert_eq!(report.sample_overrides.len(), 1);
+        assert!(report.to_json().contains("\"sample_overrides\""));
     }
 }

@@ -1,0 +1,206 @@
+//! Work-stealing scheduling of heterogeneous grid cells.
+//!
+//! The original runner handed cells to workers through a single shared
+//! counter, which balances *counts* but not *costs*: a grid mixing
+//! full-profile sampling with fast cells (or `table3`'s widened em3d
+//! windows with ordinary ones) can leave one worker grinding a late, huge
+//! cell while the rest sit idle. [`CellQueue`] fixes both ends:
+//!
+//! * cells are ranked by a deterministic cost estimate and dealt
+//!   longest-processing-time-first round-robin across per-worker deques, so
+//!   expensive cells start early;
+//! * an idle worker first drains its own deque, then **steals from the back
+//!   of the busiest sibling**, so load imbalance self-corrects no matter
+//!   how wrong the estimate was.
+//!
+//! Scheduling never affects results: each cell is a pure function of
+//! (grid, cell), and records are reassembled in grid enumeration order —
+//! the byte-identity guarantee is scheduler-independent.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::grid::{Cell, ExperimentGrid, Metric};
+
+/// Deterministic relative cost estimate for one cell, in simulated cycles.
+///
+/// Static cells are free (no simulation); raw cells run one system over the
+/// cell's sampling profile; normalized cells run a matched pair (model and
+/// baseline), i.e. twice the work.
+pub fn cell_cost(grid: &ExperimentGrid, cell: &Cell) -> u64 {
+    let systems = match grid.metric() {
+        Metric::Static => return 0,
+        Metric::Raw => 1,
+        Metric::Normalized => 2,
+    };
+    let sample = grid.cell_sample(cell);
+    systems * (sample.warmup + sample.window * sample.windows as u64)
+}
+
+/// A work-stealing queue over cell indices.
+///
+/// Built once per run from the cells to execute; workers call
+/// [`pop`](CellQueue::pop) with their worker id until it returns `None`.
+#[derive(Debug)]
+pub struct CellQueue {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl CellQueue {
+    /// Distributes `indices` (cell indices into the grid) across `workers`
+    /// local deques, longest-processing-time-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(grid: &ExperimentGrid, indices: &[usize], workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let mut ranked: Vec<usize> = indices.to_vec();
+        // Stable descending cost sort: ties keep grid order, so the deal is
+        // fully deterministic.
+        ranked.sort_by_key(|&i| std::cmp::Reverse(cell_cost(grid, &grid.cells()[i])));
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (n, &cell) in ranked.iter().enumerate() {
+            queues[n % workers].push_back(cell);
+        }
+        CellQueue {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Next cell for `worker`: front of its own deque, else stolen from the
+    /// back of the sibling with the most queued work. Returns `None` only
+    /// when every deque is empty.
+    pub fn pop(&self, worker: usize) -> Option<usize> {
+        if let Some(i) = self.queues[worker]
+            .lock()
+            .expect("worker panicked holding queue lock")
+            .pop_front()
+        {
+            return Some(i);
+        }
+        // Steal from the deepest sibling's back: the back holds the
+        // cheapest cells of that worker's deal, which are the cheapest to
+        // migrate (the victim keeps its in-order expensive head).
+        loop {
+            let victim = self
+                .queues
+                .iter()
+                .enumerate()
+                .filter(|(v, _)| *v != worker)
+                .max_by_key(|(_, q)| q.lock().expect("queue lock").len())?;
+            let (_, queue) = victim;
+            // Bind before matching: a guard living in a match scrutinee
+            // survives the whole match, and the None arm locks every queue
+            // below — including the victim's, which would self-deadlock.
+            let stolen = queue.lock().expect("queue lock").pop_back();
+            match stolen {
+                Some(i) => return Some(i),
+                // Raced with the victim draining its own queue; rescan, and
+                // give up once every queue reads empty.
+                None => {
+                    if self
+                        .queues
+                        .iter()
+                        .all(|q| q.lock().expect("queue lock").is_empty())
+                    {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConfigPatch;
+    use reunion_core::{ExecutionMode, SampleConfig, SystemConfig};
+    use reunion_workloads::Workload;
+
+    fn grid_with_override() -> ExperimentGrid {
+        ExperimentGrid::builder("t", "t")
+            .base(SystemConfig::small_test)
+            .sample(SampleConfig::quick())
+            .sample_override(
+                "moldyn",
+                SampleConfig {
+                    warmup: 10_000,
+                    window: 10_000,
+                    windows: 20,
+                },
+            )
+            .workloads(vec![
+                Workload::by_name("sparse").unwrap(),
+                Workload::by_name("moldyn").unwrap(),
+            ])
+            .modes(&[ExecutionMode::Reunion])
+            .patches(vec![ConfigPatch::new("a"), ConfigPatch::new("b")])
+            .build()
+    }
+
+    #[test]
+    fn cost_reflects_metric_and_sample() {
+        let grid = grid_with_override();
+        let sparse = &grid.cells()[0];
+        let moldyn = &grid.cells()[2];
+        assert!(cell_cost(&grid, moldyn) > cell_cost(&grid, sparse));
+        let statics = ExperimentGrid::builder("s", "s")
+            .metric(Metric::Static)
+            .workloads(vec![Workload::by_name("sparse").unwrap()])
+            .build();
+        assert_eq!(cell_cost(&statics, &statics.cells()[0]), 0);
+    }
+
+    #[test]
+    fn queue_drains_every_cell_exactly_once() {
+        let grid = grid_with_override();
+        let indices: Vec<usize> = (0..grid.cells().len()).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let queue = CellQueue::new(&grid, &indices, workers);
+            let mut seen = vec![0u32; grid.cells().len()];
+            for worker in (0..workers).cycle() {
+                match queue.pop(worker) {
+                    Some(i) => seen[i] += 1,
+                    None => break,
+                }
+            }
+            assert!(
+                seen.iter().all(|&n| n == 1),
+                "{workers} workers must drain each cell once: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expensive_cells_are_dealt_first() {
+        let grid = grid_with_override();
+        let indices: Vec<usize> = (0..grid.cells().len()).collect();
+        let queue = CellQueue::new(&grid, &indices, 2);
+        // The two moldyn cells (indices 2 and 3) dominate the cost ranking,
+        // so each worker's first pop must be one of them.
+        let first_a = queue.pop(0).unwrap();
+        let first_b = queue.pop(1).unwrap();
+        assert!(first_a >= 2, "worker 0 should start on a widened cell");
+        assert!(first_b >= 2, "worker 1 should start on a widened cell");
+    }
+
+    #[test]
+    fn idle_worker_steals_from_loaded_sibling() {
+        let grid = grid_with_override();
+        let indices: Vec<usize> = (0..grid.cells().len()).collect();
+        // One worker's deal, then a "foreign" worker id drains it by
+        // stealing (pop with the other id never touches its own deque).
+        let queue = CellQueue::new(&grid, &indices, 2);
+        let mut stolen = 0;
+        while queue.pop(1).is_some() {
+            stolen += 1;
+        }
+        assert_eq!(
+            stolen,
+            indices.len(),
+            "worker 1 must steal worker 0's cells"
+        );
+    }
+}

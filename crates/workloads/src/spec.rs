@@ -46,6 +46,22 @@ impl fmt::Display for WorkloadClass {
     }
 }
 
+impl std::str::FromStr for WorkloadClass {
+    type Err = String;
+
+    /// Parses the [`Display`](fmt::Display) form — the spelling used by
+    /// `BENCH_<id>.json` records and shard manifests.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "Web" => Ok(WorkloadClass::Web),
+            "OLTP" => Ok(WorkloadClass::Oltp),
+            "DSS" => Ok(WorkloadClass::Dss),
+            "Scientific" => Ok(WorkloadClass::Scientific),
+            other => Err(format!("unknown workload class {other:?}")),
+        }
+    }
+}
+
 /// First-class sharing/contention model of one workload.
 ///
 /// This replaces the old single-scalar knobs (`lock_sharing`,

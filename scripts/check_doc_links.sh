@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repo's documentation
+# points at a file or directory that actually exists. External (http/https)
+# and intra-page (#anchor) links are skipped — the build environment has no
+# network. Run from the repository root; CI's docs job runs this.
+set -euo pipefail
+
+fail=0
+for doc in README.md ROADMAP.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Inline markdown links: [text](target). Reference-style links are not
+    # used in this repo's docs.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN $doc -> $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "broken relative links found in docs"
+    exit 1
+fi
+echo "all relative doc links resolve"

@@ -1,0 +1,217 @@
+//! Sharded, resumable execution: the byte-identity and crash-recovery
+//! guarantees the multi-machine campaign workflow rests on.
+//!
+//! Property under test: for any `N`-way partition of a grid, running every
+//! shard (in any order, on any runner) and merging the manifests produces
+//! a report byte-identical to a serial single-process run — and an
+//! interrupted shard, resumed, converges to exactly the manifest an
+//! uninterrupted run writes.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use reunion_core::{ExecutionMode, SampleConfig, SystemConfig};
+use reunion_sim::{merge_manifests, ConfigPatch, ExperimentGrid, MergeError, Runner, ShardSpec};
+use reunion_workloads::Workload;
+
+/// A fresh scratch directory per test invocation (std-only; the build
+/// environment has no tempfile crate).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "reunion-sharding-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn small_sample() -> SampleConfig {
+    SampleConfig {
+        warmup: 5_000,
+        window: 5_000,
+        windows: 2,
+    }
+}
+
+/// A grid with heterogeneous cells: two workloads, one with a widened
+/// sampling override (the `table3` em3d shape), two modes, two patches.
+fn grid() -> ExperimentGrid {
+    ExperimentGrid::builder("shardprop", "sharding property grid")
+        .base(SystemConfig::small_test)
+        .sample(small_sample())
+        .sample_override("moldyn", small_sample().widened(3))
+        .workloads(vec![
+            Workload::by_name("sparse").unwrap(),
+            Workload::by_name("moldyn").unwrap(),
+        ])
+        .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
+        .patches(vec![
+            ConfigPatch::new("lat=0").latency(0),
+            ConfigPatch::new("lat=20").latency(20),
+        ])
+        .build()
+}
+
+/// The shard-determinism property of the ISSUE: merging any shard
+/// partition (N ∈ {1, 2, 3, 8}) of a grid is byte-identical to the serial
+/// single-process report — including N = 8 > cell count per shard class,
+/// where some shards own very few cells.
+#[test]
+fn any_partition_merges_byte_identical_to_serial_run() {
+    let grid = grid();
+    let expected = Runner::serial().run(&grid).to_json();
+    for count in [1usize, 2, 3, 8] {
+        let scratch = Scratch::new("partition");
+        let mut paths = Vec::new();
+        // Run shards in reverse order on runners of varying parallelism:
+        // neither execution order nor scheduling may leak into the bytes.
+        for index in (1..=count).rev() {
+            let runner = if index % 2 == 0 {
+                Runner::with_threads(3)
+            } else {
+                Runner::serial()
+            };
+            let outcome = runner
+                .run_shard(&grid, ShardSpec::new(index, count), &scratch.0)
+                .expect("shard run");
+            assert_eq!(outcome.resumed, 0, "fresh dir: nothing to resume");
+            paths.push(outcome.manifest_path);
+        }
+        let merged = merge_manifests(&paths).expect("complete partition merges");
+        assert_eq!(
+            merged.to_json(),
+            expected,
+            "{count}-way partition must reproduce the serial report byte for byte"
+        );
+    }
+}
+
+/// Killing a shard mid-run (simulated by truncating its manifest inside a
+/// record line) and re-running resumes the remaining cells and converges
+/// to exactly the manifest an uninterrupted serial run writes.
+#[test]
+fn resume_after_kill_reproduces_the_manifest() {
+    let grid = grid();
+    let shard = ShardSpec::new(1, 2);
+
+    let clean = Scratch::new("clean");
+    let outcome = Runner::serial()
+        .run_shard(&grid, shard, &clean.0)
+        .expect("clean shard run");
+    let clean_bytes = std::fs::read_to_string(&outcome.manifest_path).expect("clean manifest");
+    let owned = outcome.owned_cells;
+    assert!(owned >= 3, "grid too small to interrupt meaningfully");
+
+    // "Kill" after two completed cells plus a torn half-record: keep the
+    // header line, two record lines, and a prefix of the third.
+    let lines: Vec<&str> = clean_bytes.lines().collect();
+    let mut torn = lines[..3].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[3][..lines[3].len() / 2]);
+    let killed = Scratch::new("killed");
+    let manifest_path = killed.0.join(shard.manifest_file_name("shardprop"));
+    std::fs::write(&manifest_path, &torn).expect("write torn manifest");
+
+    let resumed = Runner::serial()
+        .run_shard(&grid, shard, &killed.0)
+        .expect("resumed shard run");
+    assert_eq!(resumed.resumed, 2, "both whole records must be recovered");
+    assert_eq!(
+        resumed.executed,
+        owned - 2,
+        "only the torn cell and the never-run cells re-execute"
+    );
+    let resumed_bytes = std::fs::read_to_string(&resumed.manifest_path).expect("resumed manifest");
+    assert_eq!(
+        resumed_bytes, clean_bytes,
+        "resumed manifest must equal the uninterrupted one byte for byte"
+    );
+}
+
+/// A manifest left by a *different* experiment (here: another sampling
+/// profile) must not be resumed — it is truncated and the shard re-runs
+/// from scratch.
+#[test]
+fn stale_manifest_from_different_profile_is_discarded() {
+    let shard = ShardSpec::new(1, 1);
+    let scratch = Scratch::new("stale");
+
+    let narrow = grid();
+    Runner::serial()
+        .run_shard(&narrow, shard, &scratch.0)
+        .expect("first run");
+
+    let wide = ExperimentGrid::builder("shardprop", "sharding property grid")
+        .base(SystemConfig::small_test)
+        .sample(small_sample().widened(2))
+        .sample_override("moldyn", small_sample().widened(3))
+        .workloads(vec![
+            Workload::by_name("sparse").unwrap(),
+            Workload::by_name("moldyn").unwrap(),
+        ])
+        .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
+        .patches(vec![
+            ConfigPatch::new("lat=0").latency(0),
+            ConfigPatch::new("lat=20").latency(20),
+        ])
+        .build();
+    let outcome = Runner::serial()
+        .run_shard(&wide, shard, &scratch.0)
+        .expect("re-run under changed profile");
+    assert_eq!(
+        outcome.resumed, 0,
+        "a manifest from a different profile must not satisfy any cell"
+    );
+    assert_eq!(outcome.executed, outcome.owned_cells);
+    let merged = merge_manifests(&[outcome.manifest_path]).expect("merge");
+    assert_eq!(merged.to_json(), Runner::serial().run(&wide).to_json());
+}
+
+/// Merging an incomplete partition names the uncovered cells instead of
+/// silently producing a short report.
+#[test]
+fn merging_incomplete_partition_reports_missing_cells() {
+    let grid = grid();
+    let scratch = Scratch::new("missing");
+    let outcome = Runner::serial()
+        .run_shard(&grid, ShardSpec::new(1, 2), &scratch.0)
+        .expect("shard 1 run");
+    match merge_manifests(std::slice::from_ref(&outcome.manifest_path)) {
+        Err(MergeError::MissingCells { missing }) => {
+            let expected = ShardSpec::new(2, 2).cell_indices(grid.cells().len());
+            assert_eq!(missing, expected, "exactly shard 2's cells are missing");
+        }
+        other => panic!("expected MissingCells, got {other:?}"),
+    }
+}
+
+/// Overlapping "partitions" (the same shard twice) are rejected rather
+/// than double-counted.
+#[test]
+fn merging_overlapping_shards_is_rejected() {
+    let grid = grid();
+    let a = Scratch::new("overlap-a");
+    let b = Scratch::new("overlap-b");
+    let one = Runner::serial()
+        .run_shard(&grid, ShardSpec::new(1, 2), &a.0)
+        .expect("run in dir a");
+    let dup = Runner::serial()
+        .run_shard(&grid, ShardSpec::new(1, 2), &b.0)
+        .expect("run in dir b");
+    match merge_manifests(&[one.manifest_path, dup.manifest_path]) {
+        Err(MergeError::DuplicateCell { .. }) => {}
+        other => panic!("expected DuplicateCell, got {other:?}"),
+    }
+}
