@@ -9,17 +9,29 @@
 //! uses a small local harness (`harness = false` in Cargo.toml): each
 //! benchmark is warmed, then timed over enough iterations to fill a fixed
 //! measurement budget, and the best-of-N samples ns/iter is reported.
+//!
+//! Wall-clock numbers are machine-dependent and therefore not gated in
+//! CI. `REUNION_BENCH_COUNTERS=1` switches the harness to a
+//! *deterministic counters* mode instead: no timing at all — a fixed
+//! reference grid is executed and machine-independent work counters
+//! (cells executed, instructions and cycles simulated, scheduler steals
+//! under a fixed drain schedule) are printed as stable `counter <name>
+//! <value>` lines. Those ARE gated: CI diffs them against
+//! `baselines/BENCH_counters.txt`, so a change to how much work the
+//! simulator does per cell shows up even on shared runners where ns/iter
+//! cannot be trusted.
 
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use reunion_core::{CmpSystem, ExecutionMode, SystemConfig};
+use reunion_core::{CmpSystem, ExecutionMode, SampleConfig, SystemConfig};
 use reunion_cpu::{Core, CoreConfig};
 use reunion_fingerprint::{Crc, FingerprintUnit, TwoStageCompressor, UpdateRecord};
 use reunion_isa::{Addr, Instruction, Program, RegId};
 use reunion_kernel::Cycle;
 use reunion_mem::{CacheArray, MemConfig, MemorySystem, Owner, PhantomStrength};
+use reunion_sim::{CellQueue, ConfigPatch, ExperimentGrid, Runner};
 use reunion_workloads::Workload;
 
 /// Minimal stand-in for criterion's driver: `bench_function` + `Bencher::iter`.
@@ -196,7 +208,65 @@ fn bench_system_tick(c: &mut Criterion) {
     c.bench_function("system_tick_reunion", |b| b.iter(|| reunion.tick()));
 }
 
+/// The fixed reference grid the counters mode executes: two workloads of
+/// different classes, both paired modes, two comparison latencies, under
+/// the quick sampling profile — small enough for CI, wide enough that a
+/// change to any hot path moves at least one counter.
+fn counters_grid() -> ExperimentGrid {
+    ExperimentGrid::builder("counters", "deterministic bench counters")
+        .base(SystemConfig::small_test)
+        .sample(SampleConfig::quick())
+        .workloads(vec![
+            Workload::by_name("sparse").unwrap(),
+            Workload::by_name("apache").unwrap(),
+        ])
+        .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
+        .patches(vec![
+            ConfigPatch::new("lat=0").latency(0),
+            ConfigPatch::new("lat=10").latency(10),
+        ])
+        .build()
+}
+
+/// Deterministic-counters mode: machine-independent work counters over
+/// the reference grid, printed as `counter <name> <value>` lines (and
+/// nothing else on stdout, so CI can diff the output verbatim against
+/// `baselines/BENCH_counters.txt`).
+fn report_counters() {
+    let grid = counters_grid();
+    let report = Runner::serial().run(&grid);
+    let mut instructions = 0u64;
+    let mut cycles = 0u64;
+    let mut incoherence = 0u64;
+    let mut serializing_stalls = 0u64;
+    for record in &report.records {
+        let n = record.normalized().expect("normalized grid");
+        for side in [&n.model, &n.baseline] {
+            instructions += side.user_instructions;
+            cycles += side.cycles;
+            incoherence += side.input_incoherence;
+            serializing_stalls += side.serializing_stall_cycles;
+        }
+    }
+    // Scheduler steals under a fixed drain schedule: deal to four
+    // workers, drain everything with worker 0 — every pop beyond worker
+    // 0's own deque is a steal, deterministically.
+    let indices: Vec<usize> = (0..grid.cells().len()).collect();
+    let queue = CellQueue::new(&grid, &indices, 4);
+    while queue.pop(0).is_some() {}
+    println!("counter cells_executed {}", report.records.len());
+    println!("counter instructions_simulated {instructions}");
+    println!("counter cycles_simulated {cycles}");
+    println!("counter input_incoherence_events {incoherence}");
+    println!("counter serializing_stall_cycles {serializing_stalls}");
+    println!("counter queue_steals_fixed_drain {}", queue.steals());
+}
+
 fn main() {
+    if reunion_sim::env_flag("REUNION_BENCH_COUNTERS") {
+        report_counters();
+        return;
+    }
     let mut c = Criterion::new();
     bench_cache_array(&mut c);
     bench_fingerprint(&mut c);

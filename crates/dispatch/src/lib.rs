@@ -1,0 +1,71 @@
+//! Distributed shard dispatcher: drives a sharded experiment campaign
+//! across a fault-tolerant pool of hosts.
+//!
+//! `reunion-sim` made grids shardable and resumable: `REUNION_SHARD=i/N`
+//! runs one deterministic slice of a grid into a crash-safe manifest, and
+//! merging a complete partition reproduces the single-process
+//! `BENCH_<id>.json` byte for byte. What remained manual was the campaign
+//! itself — launching the shards somewhere, noticing when a machine dies
+//! or wedges, re-running its slice, and collecting the manifests. This
+//! crate is that driver:
+//!
+//! * [`HostPool`] — the declarative pool: hosts with a name, a transport
+//!   kind, and a capacity (concurrent shards), parsed from a small TOML
+//!   subset or JSON (see [`HostPool::parse`]).
+//! * [`Transport`] — the pluggable host interface: launch a shard worker,
+//!   tail its manifest, seed a resume, fetch the finished manifest.
+//!   [`LocalProcess`] spawns the existing experiment binaries as child
+//!   processes (one work directory per host); [`SshCommand`] shells out to
+//!   `ssh`/`scp`, with the manifest format as the only contract.
+//! * [`Dispatcher`] — the lifecycle: assign shards to hosts up to
+//!   capacity, monitor progress by tailing the crash-safe
+//!   `MANIFEST_*.jsonl` files, detect dead workers (exit without a
+//!   complete manifest) and stalled ones (no new cell within the lease),
+//!   evict hosts that keep failing, and re-dispatch their shards to
+//!   healthy hosts — *seeding* the partial manifest so the replacement
+//!   resumes instead of restarting (safe because manifests resume
+//!   idempotently). When every shard has landed, the collected manifests
+//!   merge into a `BENCH_<id>.json` byte-identical to a single-process
+//!   run.
+//!
+//! Determinism is inherited, not re-proven: the dispatcher only moves
+//! manifest bytes around, and `reunion_sim::merge_manifests` guarantees
+//! the merged report equals the single-process one regardless of which
+//! host computed which cell, how many times a shard was re-dispatched, or
+//! how much of it was resumed from a dead host's partial manifest.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use reunion_dispatch::{DispatchConfig, Dispatcher, HostPool};
+//!
+//! let pool = HostPool::parse(
+//!     "pool.toml",
+//!     "[[host]]\nname = \"alpha\"\ntransport = \"local\"\ncapacity = 2\n",
+//! )
+//! .unwrap();
+//! let cfg = DispatchConfig::new("fig5", 4, "campaign/merged")
+//!     .lease(Duration::from_secs(600))
+//!     .profile("full");
+//! let report = Dispatcher::new(cfg, pool.build_transports(&Default::default()).unwrap())
+//!     .run()
+//!     .unwrap();
+//! println!("merged: {}", report.bench_path.display());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod dispatcher;
+mod pool;
+mod transport;
+
+pub use dispatcher::{
+    Attempt, AttemptOutcome, DispatchConfig, DispatchReport, Dispatcher, FailureInjection,
+};
+pub use pool::{HostPool, HostSpec, HostTransports, TransportDefaults, TransportKind};
+pub use transport::{
+    DispatchError, LocalProcess, ProcessHandle, ShardTask, SshCommand, Transport, WorkerHandle,
+    WorkerStatus,
+};

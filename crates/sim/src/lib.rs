@@ -22,7 +22,10 @@
 //!   grid, [`Runner::run_shard`] streams each finished cell to a crash-safe
 //!   manifest so an interrupted run resumes instead of restarting, and
 //!   merging a complete partition reproduces the single-process report
-//!   byte for byte.
+//!   byte for byte. [`measure_cell`] (one cell at a time) and
+//!   [`ShardProgress`] / [`manifest_progress_from_text`] (manifest-tail
+//!   progress probes) are the stable surface external drivers — the
+//!   `reunion-dispatch` host-pool dispatcher and its workers — build on.
 //! * [`ExperimentReport`] / [`RunRecord`] — results in grid enumeration
 //!   order with lookup and aggregation helpers, plus a deterministic JSON
 //!   serializer; [`ExperimentReport::write_json_default`] emits the
@@ -97,12 +100,15 @@ mod shard;
 
 pub use grid::{Cell, ExperimentGrid, GridBuilder, Metric};
 pub use json::{parse_json, JsonParseError, JsonValue, JsonWriter};
-pub use manifest::{read_manifest, ManifestHeader, ShardManifest};
+pub use manifest::{
+    manifest_progress, manifest_progress_from_text, read_manifest, ManifestHeader, ShardManifest,
+    ShardProgress,
+};
 pub use merge::{find_manifests, merge_manifests, MergeError};
 pub use patch::ConfigPatch;
 pub use report::{
     out_dir, ExperimentReport, MeasureSummary, NormalizedSummary, Outcome, RunRecord, StaticSummary,
 };
-pub use runner::{env_flag, Runner, ShardRunOutcome};
+pub use runner::{env_flag, measure_cell, Runner, ShardRunOutcome};
 pub use scheduler::{cell_cost, CellQueue};
 pub use shard::ShardSpec;

@@ -258,6 +258,18 @@ impl Runner {
     }
 }
 
+/// Measures one cell of `grid`: the smallest unit of sharded execution.
+///
+/// Pure apart from the simulation itself: the outcome is a function of
+/// (grid base config, cell, cell sampling profile) only — which is what
+/// lets external drivers (the `reunion-dispatch` workers, custom shard
+/// loops) execute cells one at a time, appending each record to a
+/// [`ShardManifest`] between their own checkpoint or failure-injection
+/// logic, and still merge back into a byte-identical report.
+pub fn measure_cell(grid: &ExperimentGrid, cell: &Cell) -> RunRecord {
+    run_cell(grid, cell)
+}
+
 /// Measures one cell. Pure apart from the simulation itself: the outcome is
 /// a function of (grid base config, cell, cell sampling profile) only.
 fn run_cell(grid: &ExperimentGrid, cell: &Cell) -> RunRecord {

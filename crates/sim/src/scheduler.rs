@@ -18,6 +18,7 @@
 //! the byte-identity guarantee is scheduler-independent.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::grid::{Cell, ExperimentGrid, Metric};
@@ -44,6 +45,7 @@ pub fn cell_cost(grid: &ExperimentGrid, cell: &Cell) -> u64 {
 #[derive(Debug)]
 pub struct CellQueue {
     queues: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicU64,
 }
 
 impl CellQueue {
@@ -65,7 +67,16 @@ impl CellQueue {
         }
         CellQueue {
             queues: queues.into_iter().map(Mutex::new).collect(),
+            steals: AtomicU64::new(0),
         }
+    }
+
+    /// How many cells have been taken from a sibling's deque rather than
+    /// the popper's own. Under a fixed pop schedule (no real threads) the
+    /// count is deterministic — the microbench counters mode drains a
+    /// queue that way to snapshot scheduler behaviour machine-independently.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
     }
 
     /// Next cell for `worker`: front of its own deque, else stolen from the
@@ -95,7 +106,10 @@ impl CellQueue {
             // below — including the victim's, which would self-deadlock.
             let stolen = queue.lock().expect("queue lock").pop_back();
             match stolen {
-                Some(i) => return Some(i),
+                Some(i) => {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(i);
+                }
                 // Raced with the victim draining its own queue; rescan, and
                 // give up once every queue reads empty.
                 None => {
@@ -202,5 +216,29 @@ mod tests {
             indices.len(),
             "worker 1 must steal worker 0's cells"
         );
+        // The deal splits cells across both deques; worker 1 drains its
+        // own half first, so exactly worker 0's half arrives via steals.
+        assert_eq!(
+            queue.steals() as usize,
+            indices.len() / 2,
+            "worker 0's deal must arrive via counted steals"
+        );
+    }
+
+    /// Under a fixed pop schedule the steal count is a pure function of
+    /// the deal — the machine-independent scheduler counter the bench
+    /// harness snapshots.
+    #[test]
+    fn steal_count_is_deterministic_for_fixed_schedule() {
+        let grid = grid_with_override();
+        let indices: Vec<usize> = (0..grid.cells().len()).collect();
+        let count = |workers: usize| {
+            let queue = CellQueue::new(&grid, &indices, workers);
+            while queue.pop(0).is_some() {}
+            queue.steals()
+        };
+        let first = count(3);
+        assert_eq!(first, count(3), "same schedule, same steal count");
+        assert!(first > 0, "draining with one worker id must steal");
     }
 }

@@ -1,0 +1,300 @@
+//! Dispatcher failure paths, end to end with real worker processes.
+//!
+//! Every test drives `reunion-dispatch` over `LocalProcess` transports
+//! launching the `shard_worker` binary (see `src/bin/shard_worker.rs`),
+//! whose environment knobs inject the host faults the satellite checklist
+//! names: death before the first cell, a stall past the lease, a
+//! mid-shard death leaving a partial manifest, and a host that cannot be
+//! launched at all. The invariant under test is always the same: the
+//! campaign survives, and the merged `BENCH_dispatchtest.json` is
+//! byte-identical to a serial in-process run of the same grid.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use reunion::testkit::dispatch_grid;
+use reunion_dispatch::{
+    Attempt, AttemptOutcome, DispatchConfig, DispatchReport, Dispatcher, LocalProcess, Transport,
+};
+use reunion_sim::{manifest_progress, merge_manifests, MergeError, Runner, ShardSpec};
+
+fn worker_exe() -> String {
+    env!("CARGO_BIN_EXE_shard_worker").to_string()
+}
+
+/// A fresh scratch directory per test invocation (std-only; the build
+/// environment has no tempfile crate).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "reunion-dispatch-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn host_dir(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+
+    fn merge_dir(&self) -> PathBuf {
+        self.0.join("merged")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// The reference artifact every campaign must reproduce byte for byte.
+fn expected_json() -> String {
+    Runner::serial().run(&dispatch_grid()).to_json()
+}
+
+fn base_config(scratch: &Scratch) -> DispatchConfig {
+    DispatchConfig::new("dispatchtest", 2, scratch.merge_dir())
+        .poll(Duration::from_millis(50))
+        .lease(Duration::from_secs(60))
+        .max_host_failures(1)
+}
+
+fn local_host(scratch: &Scratch, name: &str) -> LocalProcess {
+    LocalProcess::new(name, scratch.host_dir(name), vec![worker_exe()])
+}
+
+fn assert_merged_byte_identical(report: &DispatchReport) {
+    let merged = std::fs::read_to_string(&report.bench_path).expect("merged artifact");
+    assert_eq!(
+        merged,
+        expected_json(),
+        "dispatched campaign must reproduce the serial report byte for byte"
+    );
+}
+
+fn completed_attempt(report: &DispatchReport, shard: usize) -> &Attempt {
+    report
+        .attempts
+        .iter()
+        .find(|a| a.shard == shard && matches!(a.outcome, AttemptOutcome::Completed { .. }))
+        .unwrap_or_else(|| panic!("shard {shard} must eventually complete"))
+}
+
+/// Happy path: a healthy two-host pool splits the campaign and the merge
+/// is byte-identical, with no re-dispatches.
+#[test]
+fn two_host_dispatch_merges_byte_identical() {
+    let scratch = Scratch::new("happy");
+    let report = Dispatcher::new(
+        base_config(&scratch),
+        vec![
+            (
+                Box::new(local_host(&scratch, "alpha")) as Box<dyn Transport>,
+                1,
+            ),
+            (
+                Box::new(local_host(&scratch, "beta")) as Box<dyn Transport>,
+                1,
+            ),
+        ],
+    )
+    .run()
+    .expect("healthy campaign");
+    assert_eq!(report.redispatches, 0);
+    assert!(report.evicted_hosts.is_empty());
+    assert_eq!(report.manifest_paths.len(), 2);
+    assert_eq!(completed_attempt(&report, 1).seeded, 0);
+    assert_merged_byte_identical(&report);
+}
+
+/// A host whose worker dies before producing a single cell: the host is
+/// evicted and its shard re-dispatched (from scratch — there is nothing
+/// to resume) to the remaining pool.
+#[test]
+fn host_dying_before_first_cell_is_evicted_and_shard_redispatched() {
+    let scratch = Scratch::new("die-at-start");
+    let report = Dispatcher::new(
+        base_config(&scratch),
+        vec![
+            (
+                Box::new(local_host(&scratch, "flaky").env("WORKER_FAIL_AT_START", "1"))
+                    as Box<dyn Transport>,
+                1,
+            ),
+            (
+                Box::new(local_host(&scratch, "steady")) as Box<dyn Transport>,
+                1,
+            ),
+        ],
+    )
+    .run()
+    .expect("campaign must survive one dying host");
+    assert_eq!(report.evicted_hosts, vec!["flaky".to_string()]);
+    assert!(report.redispatches >= 1);
+    assert!(report
+        .attempts
+        .iter()
+        .any(|a| a.host == "flaky" && matches!(a.outcome, AttemptOutcome::Died { .. })));
+    let rescued = completed_attempt(&report, 1);
+    assert_eq!(rescued.host, "steady");
+    assert_eq!(rescued.seeded, 0, "nothing to resume from an empty host");
+    assert_merged_byte_identical(&report);
+}
+
+/// A host that cannot even be launched (missing binary standing in for an
+/// unreachable machine): the launch failure burns its budget and the
+/// whole campaign falls back to the remaining pool.
+#[test]
+fn unreachable_host_at_startup_falls_back_to_remaining_pool() {
+    let scratch = Scratch::new("unreachable");
+    let report = Dispatcher::new(
+        base_config(&scratch),
+        vec![
+            (
+                Box::new(LocalProcess::new(
+                    "ghost",
+                    scratch.host_dir("ghost"),
+                    vec!["/nonexistent/reunion-worker".to_string()],
+                )) as Box<dyn Transport>,
+                1,
+            ),
+            (
+                Box::new(local_host(&scratch, "steady")) as Box<dyn Transport>,
+                1,
+            ),
+        ],
+    )
+    .run()
+    .expect("campaign must survive an unreachable host");
+    assert_eq!(report.evicted_hosts, vec!["ghost".to_string()]);
+    assert!(report
+        .attempts
+        .iter()
+        .any(|a| a.host == "ghost" && matches!(a.outcome, AttemptOutcome::LaunchFailed { .. })));
+    assert!(report
+        .attempts
+        .iter()
+        .filter(|a| matches!(a.outcome, AttemptOutcome::Completed { .. }))
+        .all(|a| a.host == "steady"));
+    assert_merged_byte_identical(&report);
+}
+
+/// Runs the stall scenario shared by the lease test and the
+/// duplicate-manifest test: the first host completes one cell of shard 1
+/// and then wedges; the lease expires, the worker is killed, the host
+/// evicted, and the shard re-dispatched — seeded with the partial
+/// manifest — to the healthy host.
+fn run_stalled_campaign(tag: &str) -> (Scratch, DispatchReport) {
+    let scratch = Scratch::new(tag);
+    let report = Dispatcher::new(
+        base_config(&scratch).lease(Duration::from_secs(2)),
+        vec![
+            (
+                Box::new(local_host(&scratch, "wedged").env("WORKER_STALL_AFTER", "1"))
+                    as Box<dyn Transport>,
+                1,
+            ),
+            (
+                Box::new(local_host(&scratch, "steady")) as Box<dyn Transport>,
+                1,
+            ),
+        ],
+    )
+    .run()
+    .expect("campaign must survive a wedged host");
+    (scratch, report)
+}
+
+/// A worker that stops making progress is killed once the lease expires,
+/// and the replacement *resumes* the cell the stalled host completed.
+#[test]
+fn stalled_host_past_lease_is_killed_and_shard_resumed_elsewhere() {
+    let (_scratch, report) = run_stalled_campaign("stall");
+    assert_eq!(report.evicted_hosts, vec!["wedged".to_string()]);
+    assert!(report
+        .attempts
+        .iter()
+        .any(|a| a.host == "wedged" && a.outcome == AttemptOutcome::Stalled));
+    let rescued = completed_attempt(&report, 1);
+    assert_eq!(rescued.host, "steady");
+    assert!(
+        rescued.seeded >= 1,
+        "the stalled host's completed cell must be resumed, not re-run"
+    );
+    assert_merged_byte_identical(&report);
+}
+
+/// After a re-dispatch, *two* hosts hold a manifest for the same shard —
+/// the dead host's partial one and the replacement's complete one. A
+/// naive merge of every manifest on disk double-counts; the dispatcher's
+/// per-shard collection keeps exactly one complete manifest per shard,
+/// so the merge is clean.
+#[test]
+fn duplicate_manifest_from_redispatched_shard_merges_cleanly() {
+    let (scratch, report) = run_stalled_campaign("dup");
+    let name = ShardSpec::new(1, 2).manifest_file_name("dispatchtest");
+    let partial = scratch.host_dir("wedged").join(&name);
+    let complete = scratch.host_dir("steady").join(&name);
+    let partial_progress = manifest_progress(&partial).expect("stalled host's manifest survives");
+    assert!(
+        !partial_progress.is_complete(),
+        "the wedged host must have left a partial manifest"
+    );
+    assert!(manifest_progress(&complete)
+        .expect("replacement manifest")
+        .is_complete());
+
+    // The naive merge over both copies is exactly the double-count the
+    // collector exists to prevent.
+    let shard2 = scratch
+        .host_dir("steady")
+        .join(ShardSpec::new(2, 2).manifest_file_name("dispatchtest"));
+    match merge_manifests(&[partial, complete, shard2]) {
+        Err(MergeError::DuplicateCell { .. }) => {}
+        other => panic!("naive merge must double-count, got {other:?}"),
+    }
+
+    // The dispatcher collected one manifest per shard and merged those.
+    assert_eq!(report.manifest_paths.len(), 2);
+    assert!(merge_manifests(&report.manifest_paths).is_ok());
+    assert_merged_byte_identical(&report);
+}
+
+/// A worker that dies mid-shard (after two cells) leaves a partial
+/// manifest; the re-dispatched attempt is seeded with exactly those
+/// cells.
+#[test]
+fn mid_shard_death_resumes_partial_manifest_on_replacement() {
+    let scratch = Scratch::new("mid-death");
+    let report = Dispatcher::new(
+        base_config(&scratch),
+        vec![
+            (
+                Box::new(local_host(&scratch, "mortal").env("WORKER_EXIT_AFTER", "2"))
+                    as Box<dyn Transport>,
+                1,
+            ),
+            (
+                Box::new(local_host(&scratch, "steady")) as Box<dyn Transport>,
+                1,
+            ),
+        ],
+    )
+    .run()
+    .expect("campaign must survive a mid-shard death");
+    assert_eq!(report.evicted_hosts, vec!["mortal".to_string()]);
+    let rescued = completed_attempt(&report, 1);
+    assert_eq!(rescued.host, "steady");
+    assert_eq!(
+        rescued.seeded, 2,
+        "both cells completed before the death must be resumed"
+    );
+    assert_merged_byte_identical(&report);
+}
