@@ -31,7 +31,7 @@ use reunion_fingerprint::{Crc, FingerprintUnit, TwoStageCompressor, UpdateRecord
 use reunion_isa::{Addr, Instruction, Program, RegId};
 use reunion_kernel::Cycle;
 use reunion_mem::{CacheArray, MemConfig, MemorySystem, Owner, PhantomStrength};
-use reunion_sim::{CellQueue, ConfigPatch, ExperimentGrid, Runner};
+use reunion_sim::{CellQueue, ConfigPatch, ExperimentGrid};
 use reunion_workloads::Workload;
 
 /// Minimal stand-in for criterion's driver: `bench_function` + `Bencher::iter`.
@@ -232,20 +232,29 @@ fn counters_grid() -> ExperimentGrid {
 /// the reference grid, printed as `counter <name> <value>` lines (and
 /// nothing else on stdout, so CI can diff the output verbatim against
 /// `baselines/BENCH_counters.txt`).
+///
+/// Cells are measured directly (equivalent to `Runner::serial().run`, cell
+/// by cell) so the engine's `skipped_cycles` diagnostic — deliberately
+/// absent from every `BENCH_<id>.json` field — is visible here: every
+/// simulated-work counter must be identical between `REUNION_ENGINE=dense`
+/// and `skip`, while `skipped_cycles` is the one line allowed to differ
+/// (zero under dense, nonzero under the default skip engine).
 fn report_counters() {
     let grid = counters_grid();
-    let report = Runner::serial().run(&grid);
     let mut instructions = 0u64;
     let mut cycles = 0u64;
     let mut incoherence = 0u64;
     let mut serializing_stalls = 0u64;
-    for record in &report.records {
-        let n = record.normalized().expect("normalized grid");
+    let mut skipped = 0u64;
+    for cell in grid.cells() {
+        let cfg = grid.cell_config(cell);
+        let n = reunion_core::normalized_ipc(&cfg, &cell.workload, grid.cell_sample(cell));
         for side in [&n.model, &n.baseline] {
-            instructions += side.user_instructions;
-            cycles += side.cycles;
-            incoherence += side.input_incoherence;
-            serializing_stalls += side.serializing_stall_cycles;
+            instructions += side.totals.user_instructions;
+            cycles += side.totals.cycles;
+            incoherence += side.totals.input_incoherence;
+            serializing_stalls += side.totals.serializing_stall_cycles;
+            skipped += side.skipped_cycles;
         }
     }
     // Scheduler steals under a fixed drain schedule: deal to four
@@ -254,11 +263,12 @@ fn report_counters() {
     let indices: Vec<usize> = (0..grid.cells().len()).collect();
     let queue = CellQueue::new(&grid, &indices, 4);
     while queue.pop(0).is_some() {}
-    println!("counter cells_executed {}", report.records.len());
+    println!("counter cells_executed {}", grid.cells().len());
     println!("counter instructions_simulated {instructions}");
     println!("counter cycles_simulated {cycles}");
     println!("counter input_incoherence_events {incoherence}");
     println!("counter serializing_stall_cycles {serializing_stalls}");
+    println!("counter skipped_cycles {skipped}");
     println!("counter queue_steals_fixed_drain {}", queue.steals());
 }
 

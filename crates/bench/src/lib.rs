@@ -12,11 +12,16 @@
 //! * `--profile full|fast` — sampling profile: the paper's full
 //!   methodology, or the shortened smoke/CI profile (see
 //!   [`Profile`]).
+//! * `--engine dense|skip` — timing engine: dense cycle stepping, or the
+//!   default event-driven time-skipping engine. `BENCH_<id>.json` output is
+//!   byte-identical between the two (gated by the engine-parity CI step).
 //!
 //! Environment knobs:
 //!
 //! * `REUNION_PROFILE=full|fast` — profile default when `--profile` is
 //!   absent; `REUNION_FAST=1` is the legacy spelling of `fast`,
+//! * `REUNION_ENGINE=dense|skip` — engine default when `--engine` is
+//!   absent (default: `skip`),
 //! * `REUNION_SHARD=i/N` — run only shard `i` of an `N`-way partition of
 //!   the grid, appending per-cell results to a resumable manifest instead
 //!   of writing `BENCH_<id>.json` (combine with `merge_shards`),
@@ -32,7 +37,7 @@ use reunion_core::{ClassSummary, SampleConfig};
 use reunion_sim::{env_flag, out_dir, ExperimentGrid, ExperimentReport, Runner, ShardSpec};
 use reunion_workloads::{suite, Workload, WorkloadClass};
 
-pub use reunion_core::Profile;
+pub use reunion_core::{Engine, Profile};
 
 /// The comparison latencies of the paper's sensitivity sweeps — the shared
 /// x-axis of Figure 6, Figure 7(b) and the SC ablation.
@@ -54,6 +59,10 @@ pub fn keyed_latency_label(key: &str, latency: u64) -> String {
 pub struct BenchOpts {
     /// The sampling profile the run measures under.
     pub profile: Profile,
+    /// The timing engine simulations run under. `BENCH_<id>.json` output is
+    /// byte-identical either way (the engine-parity CI job enforces it);
+    /// `dense` exists for parity checks and as the reference semantics.
+    pub engine: Engine,
 }
 
 impl BenchOpts {
@@ -68,14 +77,21 @@ impl BenchOpts {
 /// Precedence for the profile: `--profile full|fast` (also
 /// `--profile=<p>`), then `REUNION_PROFILE`, then the legacy
 /// `REUNION_FAST=1` spelling of `fast`, then the paper's full profile.
+/// For the engine: `--engine dense|skip` (also `--engine=<e>`), then
+/// `REUNION_ENGINE`, then the default skip engine; the winning choice is
+/// exported back into `REUNION_ENGINE` so every [`reunion_core::SystemConfig`]
+/// the run constructs — on any worker thread — picks it up.
 /// Unrecognized arguments print usage and exit with status 2, so a typo
 /// can never silently run the (expensive) default configuration.
 pub fn parse_opts() -> BenchOpts {
     match try_parse_opts(std::env::args().skip(1)) {
-        Ok(opts) => opts,
+        Ok(opts) => {
+            std::env::set_var("REUNION_ENGINE", opts.engine.to_string());
+            opts
+        }
         Err(e) => {
             eprintln!("{e}");
-            eprintln!("usage: <binary> [--profile full|fast]");
+            eprintln!("usage: <binary> [--profile full|fast] [--engine dense|skip]");
             std::process::exit(2);
         }
     }
@@ -83,6 +99,7 @@ pub fn parse_opts() -> BenchOpts {
 
 fn try_parse_opts(args: impl Iterator<Item = String>) -> Result<BenchOpts, String> {
     let mut profile = None;
+    let mut engine = None;
     let mut it = args;
     while let Some(arg) = it.next() {
         if arg == "--profile" {
@@ -90,6 +107,11 @@ fn try_parse_opts(args: impl Iterator<Item = String>) -> Result<BenchOpts, Strin
             profile = Some(value.parse()?);
         } else if let Some(value) = arg.strip_prefix("--profile=") {
             profile = Some(value.parse()?);
+        } else if arg == "--engine" {
+            let value = it.next().ok_or("--engine requires a value (dense|skip)")?;
+            engine = Some(value.parse()?);
+        } else if let Some(value) = arg.strip_prefix("--engine=") {
+            engine = Some(value.parse()?);
         } else {
             return Err(format!("unrecognized argument {arg:?}"));
         }
@@ -102,7 +124,14 @@ fn try_parse_opts(args: impl Iterator<Item = String>) -> Result<BenchOpts, Strin
             Err(_) => Profile::Full,
         },
     };
-    Ok(BenchOpts { profile })
+    let engine = match engine {
+        Some(e) => e,
+        None => match std::env::var("REUNION_ENGINE") {
+            Ok(v) => v.parse().map_err(|e| format!("REUNION_ENGINE: {e}"))?,
+            Err(_) => Engine::default(),
+        },
+    };
+    Ok(BenchOpts { profile, engine })
 }
 
 /// Prints a figure/table banner.
@@ -230,6 +259,19 @@ mod tests {
         assert!(parse(&["--wat"]).is_err());
         assert!(parse(&["--profile"]).is_err());
         assert!(parse(&["--profile", "slow"]).is_err());
+        assert!(parse(&["--engine"]).is_err());
+        assert!(parse(&["--engine", "sparse"]).is_err());
+    }
+
+    #[test]
+    fn engine_flag_both_spellings_and_default() {
+        assert_eq!(parse(&["--engine", "dense"]).unwrap().engine, Engine::Dense);
+        assert_eq!(parse(&["--engine=skip"]).unwrap().engine, Engine::Skip);
+        assert_eq!(
+            parse(&["--profile", "fast"]).unwrap().engine,
+            Engine::Skip,
+            "skip is the default engine"
+        );
     }
 
     #[test]

@@ -58,6 +58,65 @@ impl std::str::FromStr for ExecutionMode {
     }
 }
 
+/// Which timing engine advances the simulated CMP.
+///
+/// Both engines execute the identical per-cycle model ([`tick`]); they
+/// differ only in which cycles they bother to tick. Every deterministic
+/// output — `BENCH_<id>.json` bytes, measured counters, final architectural
+/// state — is guaranteed identical between them; the dual-run
+/// `engine-parity` CI job and the randomized property tests in
+/// `tests/engines.rs` enforce it.
+///
+/// [`tick`]: crate::CmpSystem::tick
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Tick every logical processor on every cycle — the reference
+    /// semantics.
+    Dense,
+    /// Event-driven time skipping: fast-forward simulated time to the
+    /// earliest cycle any logical processor reports it can make forward
+    /// progress, clipped at sampling-window boundaries. The default.
+    #[default]
+    Skip,
+}
+
+impl Engine {
+    /// The engine selected by `REUNION_ENGINE=dense|skip` (default:
+    /// [`Engine::Skip`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `REUNION_ENGINE` value — a typo must not
+    /// silently run the wrong engine.
+    pub fn from_env() -> Engine {
+        match std::env::var("REUNION_ENGINE") {
+            Ok(v) => v.parse().unwrap_or_else(|e| panic!("REUNION_ENGINE: {e}")),
+            Err(_) => Engine::default(),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Dense => "dense",
+            Engine::Skip => "skip",
+        })
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(Engine::Dense),
+            "skip" => Ok(Engine::Skip),
+            other => Err(format!("unknown engine {other:?} (expected dense|skip)")),
+        }
+    }
+}
+
 /// Full configuration of a simulated CMP.
 ///
 /// [`SystemConfig::table1`] reproduces the paper's system; tests use
@@ -84,6 +143,9 @@ pub struct SystemConfig {
     pub fingerprint_interval: u32,
     /// Master seed: programs and per-pair decisions derive from it.
     pub seed: u64,
+    /// Timing engine (dense cycle stepping or event-driven time skipping).
+    /// Constructors read `REUNION_ENGINE`; outputs are engine-invariant.
+    pub engine: Engine,
 }
 
 impl SystemConfig {
@@ -101,6 +163,7 @@ impl SystemConfig {
             phantom: PhantomStrength::Global,
             fingerprint_interval: 1,
             seed: 0x5EED_0001,
+            engine: Engine::from_env(),
         }
     }
 
@@ -117,6 +180,7 @@ impl SystemConfig {
             phantom: PhantomStrength::Global,
             fingerprint_interval: 1,
             seed: 0x5EED_0002,
+            engine: Engine::from_env(),
         }
     }
 

@@ -45,7 +45,7 @@ mod pair;
 mod sampling;
 mod system;
 
-pub use config::{ExecutionMode, SystemConfig};
+pub use config::{Engine, ExecutionMode, SystemConfig};
 pub use metrics::{ClassSummary, Measurement, NormalizedResult};
 pub use pair::{PairDriver, PairStats, RecoveryPhase};
 pub use sampling::{measure, normalized_ipc, Profile, SampleConfig};

@@ -17,6 +17,11 @@ pub struct Measurement {
     pub totals: SystemStats,
     /// Number of measurement windows.
     pub windows: usize,
+    /// Cycles the timing engine fast-forwarded without ticking (warm-up
+    /// included). An engine diagnostic, deliberately kept out of every
+    /// `BENCH_<id>.json` field so reports stay byte-identical across
+    /// engines; surfaced by the deterministic bench counters instead.
+    pub skipped_cycles: u64,
 }
 
 impl Measurement {
@@ -114,6 +119,7 @@ mod tests {
                 ..Default::default()
             },
             windows: 1,
+            skipped_cycles: 0,
         };
         assert!((m.incoherence_per_million() - 3.0).abs() < 1e-9);
         assert!((m.tlb_misses_per_million() - 1500.0).abs() < 1e-9);

@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use reunion_cpu::{CheckEvent, Core, ReleaseGrant};
 use reunion_kernel::stats::Counter;
-use reunion_kernel::Cycle;
+use reunion_kernel::{Cycle, EventHorizon};
 use reunion_mem::MemorySystem;
 
 /// Which phase of the re-execution protocol a recovering pair is in
@@ -192,6 +192,60 @@ impl PairDriver {
         if self.phase != RecoveryPhase::Normal {
             self.drive_recovery(now, mem);
         }
+    }
+
+    /// The earliest cycle `>= from` at which this pair could make forward
+    /// progress — its contribution to the time-skipping engine's
+    /// [`EventHorizon`].
+    ///
+    /// Folds both cores' [`Core::next_activity_at`] bounds with the
+    /// driver-level deadlines only the pair knows about:
+    ///
+    /// * a detected fingerprint difference whose physical comparison time
+    ///   has not yet arrived (`pending_mismatch`),
+    /// * the defensive recovery-escalation timeout while a re-execution is
+    ///   in flight,
+    /// * uncompared events sitting in both comparison queues (possible only
+    ///   transiently; the comparator must run on the next cycle).
+    ///
+    /// `None` means the pair is permanently idle absent external input.
+    pub fn next_activity_at(&self, from: Cycle) -> Option<Cycle> {
+        // Fast path: a core that can act on the very next cycle bounds the
+        // whole pair — nothing can be earlier than `from`.
+        let vocal = self.vocal.next_activity_at(from);
+        if vocal == Some(from) {
+            return vocal;
+        }
+        let mute = self.mute.next_activity_at(from);
+        if mute == Some(from) {
+            return mute;
+        }
+        let mut horizon = EventHorizon::new();
+        horizon.note_opt(vocal);
+        horizon.note_opt(mute);
+        if let Some(detect_at) = self.pending_mismatch {
+            horizon.note(detect_at.max(from));
+        }
+        if self.phase != RecoveryPhase::Normal {
+            let escalate = self.recovery_started + self.recovery_timeout + 1;
+            horizon.note(Cycle::new(escalate).max(from));
+        }
+        if !self.vocal_events.is_empty() && !self.mute_events.is_empty() {
+            horizon.note(from);
+        }
+        horizon.next_ready()
+    }
+
+    /// Whether the pair can never act again without external input: both
+    /// cores [quiescent](Core::is_quiescent), no recovery in flight, and no
+    /// deferred mismatch pending. Leftover events on *one* comparison queue
+    /// are irrelevant — the comparator needs both.
+    pub fn is_quiescent(&self) -> bool {
+        self.vocal.is_quiescent()
+            && self.mute.is_quiescent()
+            && self.phase == RecoveryPhase::Normal
+            && self.pending_mismatch.is_none()
+            && (self.vocal_events.is_empty() || self.mute_events.is_empty())
     }
 
     /// Escalation bookkeeping shared by deferred-mismatch recovery.
@@ -623,6 +677,56 @@ mod tests {
             "strict input replication is immune to input incoherence"
         );
         assert!(pair.retired_user() > 1000);
+    }
+
+    #[test]
+    fn halting_pair_goes_quiescent() {
+        let code = vec![
+            I::add_imm(r(1), r(1), 1),
+            I::add_imm(r(2), r(1), 2),
+            I::halt(),
+        ];
+        let mut rig = Rig::new(code, false);
+        assert!(!rig.pair.is_quiescent());
+        rig.run(5_000);
+        assert!(rig.pair.vocal().is_halted());
+        assert!(rig.pair.mute().is_halted());
+        assert!(
+            rig.pair.is_quiescent(),
+            "halted pair with drained pipelines"
+        );
+        assert_eq!(rig.pair.next_activity_at(Cycle::new(rig.now)), None);
+        // Quiescence is stable: further ticks change nothing.
+        let retired = rig.pair.retired_user();
+        rig.run(100);
+        assert_eq!(rig.pair.retired_user(), retired);
+        assert!(rig.pair.is_quiescent());
+    }
+
+    #[test]
+    fn pending_mismatch_deadline_is_reported() {
+        let mut rig = Rig::new(counting_loop(), false);
+        rig.pair.mute_mut().inject_soft_error_at(50, 7);
+        // Run until the mismatch is detected but its physical comparison
+        // time has not yet arrived.
+        let mut deadline = None;
+        for _ in 0..5_000 {
+            rig.pair.tick(Cycle::new(rig.now), &mut rig.mem);
+            rig.now += 1;
+            if let Some(at) = rig.pair.pending_mismatch {
+                deadline = Some(at);
+                break;
+            }
+        }
+        let at = deadline.expect("soft error must raise a deferred mismatch");
+        let next = rig
+            .pair
+            .next_activity_at(Cycle::new(rig.now))
+            .expect("pair is mid-protocol, not idle");
+        assert!(
+            next <= at,
+            "horizon {next:?} must not overshoot the mismatch deadline {at:?}"
+        );
     }
 
     #[test]

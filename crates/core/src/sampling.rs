@@ -165,6 +165,7 @@ pub fn measure(cfg: &SystemConfig, workload: &Workload, sample: &SampleConfig) -
         ipc_ci95: ipc.ci95_half_width(),
         totals,
         windows: sample.windows,
+        skipped_cycles: sys.skipped_cycles(),
     }
 }
 
@@ -216,6 +217,7 @@ pub fn normalized_ipc(
             ipc_ci95: model_ipc.ci95_half_width(),
             totals: model_totals,
             windows: sample.windows,
+            skipped_cycles: model_sys.skipped_cycles(),
         },
         baseline: Measurement {
             workload: workload.name(),
@@ -223,6 +225,7 @@ pub fn normalized_ipc(
             ipc_ci95: base_ipc.ci95_half_width(),
             totals: base_totals,
             windows: sample.windows,
+            skipped_cycles: base_sys.skipped_cycles(),
         },
     }
 }

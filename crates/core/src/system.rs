@@ -3,11 +3,11 @@
 use std::sync::Arc;
 
 use reunion_cpu::{Core, CoreConfig};
-use reunion_kernel::Cycle;
+use reunion_kernel::{Cycle, EventHorizon};
 use reunion_mem::{MemorySystem, Owner};
 use reunion_workloads::Workload;
 
-use crate::{ExecutionMode, PairDriver, SystemConfig};
+use crate::{Engine, ExecutionMode, PairDriver, SystemConfig};
 
 /// One logical processor: a single core, or a redundant pair.
 #[derive(Debug)]
@@ -71,6 +71,13 @@ impl SystemStats {
 
 /// A simulated CMP running one workload under one execution model.
 ///
+/// [`run`](Self::run) advances simulated time under the configured
+/// [`Engine`]: dense cycle stepping, or the default event-driven skip
+/// engine, which fast-forwards across cycles where no logical processor
+/// can make forward progress. Both engines produce byte-identical
+/// deterministic output; the skip engine additionally accounts the cycles
+/// it never ticked in [`skipped_cycles`](Self::skipped_cycles).
+///
 /// See the [crate docs](crate) for an example.
 #[derive(Debug)]
 pub struct CmpSystem {
@@ -79,6 +86,8 @@ pub struct CmpSystem {
     now: Cycle,
     window_start: Cycle,
     user_at_window_start: u64,
+    engine: Engine,
+    skipped: u64,
 }
 
 impl CmpSystem {
@@ -155,6 +164,8 @@ impl CmpSystem {
             now: Cycle::ZERO,
             window_start: Cycle::ZERO,
             user_at_window_start: 0,
+            engine: cfg.engine,
+            skipped: 0,
         }
     }
 
@@ -191,6 +202,19 @@ impl CmpSystem {
         }
     }
 
+    /// The timing engine this system runs under.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Cycles fast-forwarded without ticking any logical processor: the
+    /// skip engine's work savings (plus all-halted early exits, which both
+    /// engines take). Always zero for a dense run that never goes fully
+    /// quiescent; never part of a `BENCH_<id>.json` artifact.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped
+    }
+
     /// Advances the whole CMP by one cycle.
     pub fn tick(&mut self) {
         for proc in &mut self.procs {
@@ -202,10 +226,97 @@ impl CmpSystem {
         self.now += 1;
     }
 
-    /// Runs for `cycles` cycles.
+    /// The earliest cycle `>= now` at which any logical processor reports
+    /// it could make forward progress, or `None` when every processor is
+    /// permanently idle absent external input — the CMP-level
+    /// [`EventHorizon`] the skip engine fast-forwards to.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        let mut horizon = EventHorizon::new();
+        for proc in &self.procs {
+            let at = match proc {
+                Proc::Single(core) => core.next_activity_at(self.now),
+                Proc::Pair(pair) => pair.next_activity_at(self.now),
+            };
+            // Nothing beats "right now": stop probing the other procs.
+            if at == Some(self.now) {
+                return at;
+            }
+            horizon.note_opt(at);
+        }
+        horizon.next_ready()
+    }
+
+    /// Whether every logical processor is quiescent: halted with empty
+    /// pipelines, no recovery in flight, nothing left to compare. Ticking a
+    /// quiescent CMP is a no-op, so `run` under either engine jumps
+    /// straight to the end of its budget.
+    pub fn all_quiescent(&self) -> bool {
+        self.procs.iter().all(|p| match p {
+            Proc::Single(core) => core.is_quiescent(),
+            Proc::Pair(pair) => pair.is_quiescent(),
+        })
+    }
+
+    /// Runs for `cycles` cycles under the configured [`Engine`].
+    ///
+    /// Simulated time always advances by exactly `cycles` (sampling-window
+    /// accounting depends on it); the engines differ only in which of those
+    /// cycles are ticked. Both early-exit once every logical processor has
+    /// halted.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        match self.engine {
+            Engine::Dense => self.run_dense(cycles),
+            Engine::Skip => self.run_skip(cycles),
+        }
+    }
+
+    /// Dense reference engine: tick every cycle (early-exiting a fully
+    /// quiescent system).
+    fn run_dense(&mut self, cycles: u64) {
+        let end = self.now + cycles;
+        while self.now < end {
+            if self.all_quiescent() {
+                self.skipped += end - self.now;
+                self.now = end;
+                break;
+            }
             self.tick();
+        }
+    }
+
+    /// Event-driven skip engine: after each tick, fast-forward to the
+    /// earliest cycle any logical processor reports activity, clipped at
+    /// the end of this run's budget (the caller's sampling-window
+    /// boundary), so `begin_window`/measurement semantics are untouched.
+    ///
+    /// Parity argument: every per-processor bound is a conservative lower
+    /// bound on that processor's next state change (see
+    /// [`PairDriver::next_activity_at`] and `Core::next_activity_at`), so
+    /// every cycle jumped over would have been a no-op tick in the dense
+    /// engine — the two engines visit identical state sequences and produce
+    /// byte-identical outputs.
+    fn run_skip(&mut self, cycles: u64) {
+        let end = self.now + cycles;
+        while self.now < end {
+            if self.all_quiescent() {
+                self.skipped += end - self.now;
+                self.now = end;
+                break;
+            }
+            self.tick();
+            if self.now >= end {
+                break;
+            }
+            // Fast-forward to the next reported activity, clipped at this
+            // run's boundary; a silent horizon jumps straight to the end.
+            let target = match self.next_ready() {
+                Some(t) if t < end => t,
+                _ => end,
+            };
+            if target > self.now {
+                self.skipped += target - self.now;
+                self.now = target;
+            }
         }
     }
 
@@ -377,6 +488,64 @@ mod tests {
         let stats = sys.window_stats();
         assert_eq!(stats.failures, 0);
         assert!(stats.user_instructions > 1_000);
+    }
+
+    /// Builds a system around a single hand-written halting program — the
+    /// suite's generated workloads loop forever, so all-halted early exit
+    /// needs a bespoke proc.
+    fn halting_system(engine: crate::Engine) -> CmpSystem {
+        use reunion_isa::{Instruction as I, Program, RegId};
+        let code = vec![
+            I::add_imm(RegId::new(1), RegId::new(1), 5),
+            I::alu_imm(reunion_isa::AluOp::Mul, RegId::new(2), RegId::new(1), 3),
+            I::halt(),
+        ];
+        let program = Arc::new(Program::new("halting", code).expect("valid program"));
+        let mut mem = MemorySystem::new(reunion_mem::MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let core = Core::new(CoreConfig::default(), program, l1, 3);
+        CmpSystem {
+            mem,
+            procs: vec![Proc::Single(Box::new(core))],
+            now: Cycle::ZERO,
+            window_start: Cycle::ZERO,
+            user_at_window_start: 0,
+            engine,
+            skipped: 0,
+        }
+    }
+
+    #[test]
+    fn all_halted_system_early_exits_under_both_engines() {
+        for engine in [crate::Engine::Dense, crate::Engine::Skip] {
+            let mut sys = halting_system(engine);
+            assert!(!sys.all_quiescent());
+            sys.run(1_000_000);
+            // Time still advances the full budget (window accounting), but
+            // almost none of it was ticked.
+            assert_eq!(sys.now().as_u64(), 1_000_000);
+            assert!(sys.all_quiescent());
+            assert!(sys.next_ready().is_none());
+            assert_eq!(sys.user_instructions(), 2, "{engine}");
+            assert!(
+                sys.skipped_cycles() > 999_000,
+                "{engine}: skipped only {}",
+                sys.skipped_cycles()
+            );
+            // Re-running a quiescent system is a pure fast-forward.
+            sys.run(500);
+            assert_eq!(sys.now().as_u64(), 1_000_500);
+            assert_eq!(sys.user_instructions(), 2);
+        }
+    }
+
+    #[test]
+    fn engine_accessors_reflect_configuration() {
+        let mut cfg = SystemConfig::small_test(ExecutionMode::Reunion);
+        cfg.engine = crate::Engine::Dense;
+        let sys = CmpSystem::new(&cfg, &moldyn());
+        assert_eq!(sys.engine(), crate::Engine::Dense);
+        assert_eq!(sys.skipped_cycles(), 0);
     }
 
     #[test]

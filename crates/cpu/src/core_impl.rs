@@ -8,7 +8,7 @@ use reunion_isa::{
     alu_compute, branch_decides, effective_address, Addr, ArchState, Instruction, Opcode, Program,
     RegId,
 };
-use reunion_kernel::{Cycle, SimRng};
+use reunion_kernel::{Cycle, EventHorizon, SimRng};
 use reunion_mem::{L1Id, MemorySystem};
 
 use crate::{
@@ -403,6 +403,77 @@ impl Core {
     pub fn tick(&mut self, now: Cycle, mem: &mut MemorySystem) {
         self.retire(now, mem);
         self.dispatch(now, mem);
+    }
+
+    /// The earliest cycle `>= from` at which this core could make forward
+    /// progress on its own — the core's contribution to a time-skipping
+    /// engine's [`EventHorizon`].
+    ///
+    /// The bound is conservative (ticking the core earlier is a no-op, never
+    /// wrong), derived from the same completion stamps the pipeline runs on:
+    ///
+    /// * **Retirement** — the head ROB entry's in-order check time, plus its
+    ///   release-grant time under checking. Serializing intervals
+    ///   deliberately resolve to `from` once their grant has arrived, so the
+    ///   engine steps cycle-by-cycle through the round-trip stall window and
+    ///   the `serializing_stall_cycles` counter matches dense execution
+    ///   exactly.
+    /// * **Dispatch** — `fetch_free` (mispredict/TLB refill) when no
+    ///   structural condition (halt, full ROB, serializing drain, pending
+    ///   synchronizing request, single-step occupancy) blocks the front end.
+    /// * **Pending check events** — fingerprints emitted after the pair
+    ///   driver's collection point (synchronizing-request fulfillment) must
+    ///   be compared on the next cycle.
+    ///
+    /// `None` means the core cannot act again without external input: a
+    /// grant or synchronizing fulfillment from its pair driver, or nothing
+    /// at all (halted with an empty pipeline).
+    pub fn next_activity_at(&self, from: Cycle) -> Option<Cycle> {
+        let floor = from.as_u64();
+        let front_end_blocked = self.halted
+            || self.pending_sync.is_some()
+            || self.serializing_block
+            || self.rob.len() >= self.cfg.rob_entries
+            || (self.single_step && !self.rob.is_empty());
+        // Fast path: an unblocked front end dispatches on the very next
+        // cycle — no candidate can be earlier, so skip the retire-side
+        // bookkeeping entirely. This keeps the skip engine's per-tick
+        // overhead negligible through dense (always-active) phases.
+        if !front_end_blocked && self.fetch_free <= floor {
+            return Some(from);
+        }
+        if !self.events.is_empty() {
+            return Some(from);
+        }
+
+        let mut horizon = EventHorizon::new();
+        if !front_end_blocked {
+            horizon.note(Cycle::new(self.fetch_free));
+        }
+        if let Some(head) = self.rob.front() {
+            if head.completion != u64::MAX {
+                if self.cfg.checking {
+                    // Ungranted heads wait on the partner's fingerprint —
+                    // the partner core's activity, not this core's.
+                    if let Some(&granted_at) = self.grants.get(&(self.epoch, head.interval_id)) {
+                        horizon.note(Cycle::new(head.check_time.max(granted_at).max(floor)));
+                    }
+                } else {
+                    horizon.note(Cycle::new(head.check_time.max(floor)));
+                }
+            }
+        }
+        horizon.next_ready()
+    }
+
+    /// Whether the core can never act again without external input: halted
+    /// with an empty pipeline and no check events awaiting collection.
+    ///
+    /// A quiescent core's `tick` is a no-op at every future cycle, which is
+    /// what lets [`next_activity_at`](Self::next_activity_at) return `None`
+    /// and the system engine fast-forward past it.
+    pub fn is_quiescent(&self) -> bool {
+        self.halted && self.rob.is_empty() && self.events.is_empty() && self.pending_sync.is_none()
     }
 
     // ------------------------------------------------------------------
@@ -1288,6 +1359,75 @@ mod tests {
         }
         assert!(core.is_halted());
         assert_eq!(core.arch_state().regs.read(r(2)), 4242);
+    }
+
+    #[test]
+    fn halted_empty_core_is_quiescent_and_silent() {
+        let code = vec![I::load_imm(r(1), 7), I::halt()];
+        let (core, _) = run_core(code, 500);
+        assert!(core.is_halted());
+        assert!(core.is_quiescent());
+        assert_eq!(core.next_activity_at(Cycle::new(500)), None);
+    }
+
+    #[test]
+    fn running_core_reports_immediate_activity() {
+        let code = vec![I::add_imm(r(1), r(1), 1), I::jump(0)];
+        let (core, _) = run_core(code, 100);
+        assert!(!core.is_quiescent());
+        // Front end dispatches every cycle: the next cycle is active.
+        assert_eq!(
+            core.next_activity_at(Cycle::new(100)),
+            Some(Cycle::new(100))
+        );
+    }
+
+    #[test]
+    fn ungranted_head_waits_on_the_partner() {
+        let code = vec![I::add_imm(r(1), r(1), 1), I::jump(0)];
+        let program = Arc::new(Program::new("naa", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut core = Core::new(CoreConfig::default().checked(), program, l1, 7);
+        let mut events = Vec::new();
+        let mut now = 0;
+        // Fill the ROB: ungranted intervals cannot retire.
+        while core.next_activity_at(Cycle::new(now)).is_some() {
+            core.tick(Cycle::new(now), &mut mem);
+            events.extend(core.take_check_events());
+            now += 1;
+            assert!(now < 10_000, "ROB must fill and block");
+        }
+        // Blocked on the pair driver entirely: no self-activity.
+        assert!(!core.is_quiescent());
+        assert_eq!(core.next_activity_at(Cycle::new(now)), None);
+        // A grant with a future release time becomes the next activity.
+        let head = &events[0];
+        let at = Cycle::new(now + 400);
+        core.grant(ReleaseGrant {
+            epoch: head.epoch,
+            interval_id: head.fingerprint.interval_id,
+            at,
+        });
+        assert_eq!(core.next_activity_at(Cycle::new(now)), Some(at));
+    }
+
+    #[test]
+    fn pending_check_events_keep_the_core_active() {
+        // A fulfilled synchronizing request emits an event after the pair
+        // driver's collection point; the event must force the next cycle.
+        let code = vec![I::add_imm(r(1), r(1), 1), I::jump(0)];
+        let program = Arc::new(Program::new("ev", code).unwrap());
+        let mut mem = MemorySystem::new(MemConfig::small());
+        let l1 = mem.register_l1(Owner::vocal(0));
+        let mut core = Core::new(CoreConfig::default().checked(), program, l1, 7);
+        core.tick(Cycle::ZERO, &mut mem);
+        assert!(!core.take_check_events().is_empty(), "interval emitted");
+        assert_eq!(
+            core.next_activity_at(Cycle::new(1)),
+            Some(Cycle::new(1)),
+            "an active front end (and undrained events) demand the next cycle"
+        );
     }
 
     #[test]

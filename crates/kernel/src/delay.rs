@@ -84,6 +84,18 @@ impl<T> DelayQueue<T> {
         self.heap.peek().map(|e| Cycle::new(e.key.0 .0))
     }
 
+    /// Returns the earliest cycle at which [`pop_ready`](Self::pop_ready)
+    /// can deliver an item — the queue's contribution to an event-driven
+    /// engine's *next-ready* horizon.
+    ///
+    /// Equivalent to [`peek_time`](Self::peek_time); peeking never disturbs
+    /// the FIFO order of same-cycle items, so a time-skipping engine may
+    /// interleave `peek_next_ready` probes with pops freely and still
+    /// deliver same-cycle items in push order.
+    pub fn peek_next_ready(&self) -> Option<Cycle> {
+        self.peek_time()
+    }
+
     /// Number of pending items (ready or not).
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -148,6 +160,37 @@ mod tests {
         q.push_at(Cycle::new(9), 1);
         q.push_at(Cycle::new(2), 2);
         assert_eq!(q.peek_time(), Some(Cycle::new(2)));
+    }
+
+    #[test]
+    fn peek_next_ready_preserves_fifo_tie_order() {
+        // Three items scheduled for the same cycle: peeking the horizon
+        // (repeatedly, interleaved with pops) must not perturb the FIFO
+        // order of the tie.
+        let mut q = DelayQueue::new();
+        for i in 0..3 {
+            q.push_at(Cycle::new(4), i);
+            assert_eq!(q.peek_next_ready(), Some(Cycle::new(4)));
+        }
+        for expect in 0..3 {
+            assert_eq!(q.peek_next_ready(), Some(Cycle::new(4)));
+            assert_eq!(q.peek_next_ready(), q.peek_time());
+            assert_eq!(q.pop_ready(Cycle::new(4)), Some(expect));
+        }
+        assert_eq!(q.peek_next_ready(), None);
+    }
+
+    #[test]
+    fn peek_next_ready_tracks_earliest_across_mixed_times() {
+        let mut q = DelayQueue::new();
+        q.push_at(Cycle::new(9), "late");
+        q.push_at(Cycle::new(2), "early-a");
+        q.push_at(Cycle::new(2), "early-b");
+        assert_eq!(q.peek_next_ready(), Some(Cycle::new(2)));
+        assert_eq!(q.pop_ready(Cycle::new(2)), Some("early-a"));
+        assert_eq!(q.peek_next_ready(), Some(Cycle::new(2)));
+        assert_eq!(q.pop_ready(Cycle::new(2)), Some("early-b"));
+        assert_eq!(q.peek_next_ready(), Some(Cycle::new(9)));
     }
 
     #[test]

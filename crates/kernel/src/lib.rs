@@ -11,7 +11,12 @@
 //! * [`stats`] — counters, histograms and ratio statistics used to report the
 //!   paper's metrics (IPC, incoherence events per million instructions, …).
 //! * [`DelayQueue`] — a cycle-indexed delivery queue used to model fixed
-//!   latencies (fingerprint channels, memory replies, crossbar hops).
+//!   latencies (fingerprint channels, memory replies, crossbar hops), with a
+//!   [`peek_next_ready`](DelayQueue::peek_next_ready) accessor for
+//!   event-driven engines.
+//! * [`EventHorizon`] — the fold a time-skipping engine uses to combine
+//!   per-component "earliest activity" reports into the next cycle worth
+//!   simulating.
 //!
 //! # Examples
 //!
@@ -28,13 +33,15 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cycle;
 mod delay;
+mod horizon;
 mod rng;
 pub mod stats;
 
 pub use cycle::Cycle;
 pub use delay::DelayQueue;
+pub use horizon::EventHorizon;
 pub use rng::SimRng;

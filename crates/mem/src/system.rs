@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use reunion_isa::{Addr, AtomicOp, SparseMemory};
-use reunion_kernel::Cycle;
+use reunion_kernel::{Cycle, EventHorizon};
 
 use crate::{
     garbage_word, CacheArray, DirEntry, L1Id, MemConfig, MemStats, MesiState, Owner,
@@ -136,6 +136,31 @@ impl MemorySystem {
     /// Writes the coherent image directly (workload initialization).
     pub fn poke(&mut self, addr: Addr, value: u64) {
         self.image.poke(addr, value);
+    }
+
+    /// The earliest cycle `>= from` at which an in-flight memory access
+    /// completes, or `None` when nothing is outstanding past `from`.
+    ///
+    /// The memory system is fully reactive — it never advances time itself;
+    /// every method takes the current cycle and returns completion stamps —
+    /// so this is a *reporting* surface for time-skipping engines and
+    /// external drivers: the bound is the minimum over every L1's
+    /// outstanding-miss completion stamps (its in-flight delivery queue).
+    /// The CMP engine's per-core horizons already embed these stamps (a
+    /// miss's completion becomes the issuing instruction's check time), so
+    /// folding this bound in as well is safe but never required for
+    /// dense↔skip parity.
+    pub fn next_activity_at(&self, from: Cycle) -> Option<Cycle> {
+        let floor = from.as_u64();
+        let mut horizon = EventHorizon::new();
+        for l1 in &self.l1s {
+            for &done in &l1.outstanding {
+                if done >= floor {
+                    horizon.note(Cycle::new(done));
+                }
+            }
+        }
+        horizon.next_ready()
     }
 
     /// Whether `l1` currently caches the line containing `addr`.
@@ -1066,6 +1091,30 @@ mod tests {
         // Its directory entry must no longer list v0 as a sharer.
         let refetch = mem.load(Cycle::new(100_000), v0, first, PhantomStrength::Global);
         assert!(!refetch.l1_hit);
+    }
+
+    #[test]
+    fn next_activity_reports_outstanding_miss_completions() {
+        let (mut mem, v0, ..) = two_pair_system();
+        assert_eq!(mem.next_activity_at(Cycle::ZERO), None, "nothing in flight");
+        let miss = mem.load(
+            Cycle::ZERO,
+            v0,
+            Addr::new(0x2_0000),
+            PhantomStrength::Global,
+        );
+        assert_eq!(mem.next_activity_at(Cycle::ZERO), Some(miss.done_at));
+        // Past the completion stamp the queue is silent again.
+        assert_eq!(mem.next_activity_at(miss.done_at + 1), None);
+        // A hit completes without entering the outstanding queue.
+        let hit = mem.load(
+            miss.done_at,
+            v0,
+            Addr::new(0x2_0000),
+            PhantomStrength::Global,
+        );
+        assert!(hit.l1_hit);
+        assert_eq!(mem.next_activity_at(miss.done_at + 1), None);
     }
 
     #[test]

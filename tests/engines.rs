@@ -1,0 +1,172 @@
+//! Dense ↔ skip engine equivalence.
+//!
+//! The time-skipping engine must be *observationally identical* to dense
+//! cycle stepping: every measured counter, every IPC figure, every byte of
+//! a `BENCH_<id>.json` report. These tests drive randomized grids of
+//! (workload, mode, latency, seed) points through both engines and demand
+//! exact equality — plus a nonzero skip count, so the skip engine cannot
+//! trivially pass by degenerating into dense stepping.
+//!
+//! The case stream is seeded by `REUNION_PROP_SEED` (a u64; default below),
+//! never by wall-clock time, so failures replay exactly.
+
+use reunion_core::{
+    measure, normalized_ipc, Engine, ExecutionMode, Measurement, SampleConfig, SystemConfig,
+};
+use reunion_kernel::SimRng;
+use reunion_workloads::{suite, Workload};
+
+const DEFAULT_SEED: u64 = 0xE16_16E5;
+
+fn prop_seed() -> u64 {
+    std::env::var("REUNION_PROP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// The full deterministic face of a [`Measurement`], floats compared by
+/// bit pattern. `skipped_cycles` is deliberately excluded: it is the one
+/// field allowed (required, even) to differ between engines.
+fn face(m: &Measurement) -> (u64, u64, reunion_core::SystemStats, usize, &'static str) {
+    (
+        m.ipc.to_bits(),
+        m.ipc_ci95.to_bits(),
+        m.totals,
+        m.windows,
+        m.workload,
+    )
+}
+
+fn random_config(rng: &mut SimRng, mode: ExecutionMode) -> SystemConfig {
+    let mut cfg = SystemConfig::small_test(mode);
+    cfg.comparison_latency = [0, 10, 20, 40][(rng.next_u64() % 4) as usize];
+    cfg.seed = rng.next_u64();
+    cfg
+}
+
+fn random_workload(rng: &mut SimRng) -> Workload {
+    let all = suite();
+    let i = (rng.next_u64() % all.len() as u64) as usize;
+    all.into_iter().nth(i).expect("index in range")
+}
+
+fn sample() -> SampleConfig {
+    SampleConfig {
+        warmup: 6_000,
+        window: 6_000,
+        windows: 2,
+    }
+}
+
+/// Randomized grid: raw measurements agree exactly between engines for
+/// redundant and non-redundant configurations alike, and the skip engine
+/// actually skips.
+#[test]
+fn randomized_measurements_are_engine_invariant() {
+    let mut rng = SimRng::seed_from(prop_seed());
+    let mut total_skipped = 0u64;
+    for case in 0..12 {
+        let mode = ExecutionMode::ALL[(rng.next_u64() % 3) as usize];
+        let workload = random_workload(&mut rng);
+        let mut cfg = random_config(&mut rng, mode);
+
+        cfg.engine = Engine::Dense;
+        let dense = measure(&cfg, &workload, &sample());
+        cfg.engine = Engine::Skip;
+        let skip = measure(&cfg, &workload, &sample());
+
+        assert_eq!(
+            face(&dense),
+            face(&skip),
+            "case {case}: {mode} {} lat={} diverged between engines",
+            workload.name(),
+            cfg.comparison_latency,
+        );
+        assert_eq!(dense.skipped_cycles, 0, "dense never goes quiescent here");
+        total_skipped += skip.skipped_cycles;
+    }
+    assert!(
+        total_skipped > 0,
+        "the skip engine never skipped a cycle across the whole grid"
+    );
+}
+
+/// Randomized matched pairs: the normalized-IPC path (model and baseline
+/// systems, window-by-window ratios) is engine-invariant too.
+#[test]
+fn randomized_normalized_pairs_are_engine_invariant() {
+    let mut rng = SimRng::seed_from(prop_seed() ^ 0x5CA1_AB1E);
+    for case in 0..6 {
+        let mode = if rng.chance(0.5) {
+            ExecutionMode::Reunion
+        } else {
+            ExecutionMode::Strict
+        };
+        let workload = random_workload(&mut rng);
+        let mut cfg = random_config(&mut rng, mode);
+
+        cfg.engine = Engine::Dense;
+        let dense = normalized_ipc(&cfg, &workload, &sample());
+        cfg.engine = Engine::Skip;
+        let skip = normalized_ipc(&cfg, &workload, &sample());
+
+        assert_eq!(
+            dense.normalized_ipc.to_bits(),
+            skip.normalized_ipc.to_bits(),
+            "case {case}: normalized IPC diverged"
+        );
+        assert_eq!(dense.ci95.to_bits(), skip.ci95.to_bits());
+        assert_eq!(face(&dense.model), face(&skip.model));
+        assert_eq!(face(&dense.baseline), face(&skip.baseline));
+    }
+}
+
+/// Serializing-heavy configuration (software TLB handlers force frequent
+/// full check round trips): the `serializing_stall_cycles` counter — which
+/// dense execution accumulates one stalled cycle at a time — survives time
+/// skipping exactly.
+#[test]
+fn serializing_stall_counters_survive_skipping() {
+    let workload = Workload::by_name("db2_oltp").expect("suite workload");
+    let mut cfg = SystemConfig::small_test(ExecutionMode::Reunion);
+    cfg.tlb = reunion_cpu::TlbMode::Software;
+    cfg.comparison_latency = 20;
+
+    cfg.engine = Engine::Dense;
+    let dense = measure(&cfg, &workload, &sample());
+    cfg.engine = Engine::Skip;
+    let skip = measure(&cfg, &workload, &sample());
+
+    assert!(
+        dense.totals.serializing_stall_cycles > 0,
+        "config must exercise serializing stalls"
+    );
+    assert_eq!(face(&dense), face(&skip));
+}
+
+/// The skip engine clips at `run` boundaries, so arbitrary window layouts
+/// — including a window cut mid-skip — see identical per-window stats.
+#[test]
+fn window_clipping_preserves_per_window_stats() {
+    use reunion_core::CmpSystem;
+    let workload = Workload::by_name("ocean").expect("suite workload");
+    let mut cfg = SystemConfig::small_test(ExecutionMode::Reunion);
+
+    let windows = [3_000u64, 123, 7_777, 41, 2_500];
+    let mut per_window = Vec::new();
+    for engine in [Engine::Dense, Engine::Skip] {
+        cfg.engine = engine;
+        let mut sys = CmpSystem::new(&cfg, &workload);
+        sys.run(5_000);
+        let mut stats = Vec::new();
+        for w in windows {
+            sys.begin_window();
+            sys.run(w);
+            stats.push(sys.window_stats());
+        }
+        assert_eq!(sys.now().as_u64(), 5_000 + windows.iter().sum::<u64>());
+        per_window.push(stats);
+    }
+    assert_eq!(per_window[0], per_window[1]);
+}
