@@ -246,6 +246,9 @@ fn report_counters() {
     let mut incoherence = 0u64;
     let mut serializing_stalls = 0u64;
     let mut skipped = 0u64;
+    let mut peak_check_events = 0u64;
+    let mut peak_store_chain = 0u64;
+    let mut store_chain_spills = 0u64;
     for cell in grid.cells() {
         let cfg = grid.cell_config(cell);
         let n = reunion_core::normalized_ipc(&cfg, &cell.workload, grid.cell_sample(cell));
@@ -255,6 +258,26 @@ fn report_counters() {
             incoherence += side.totals.input_incoherence;
             serializing_stalls += side.totals.serializing_stall_cycles;
             skipped += side.skipped_cycles;
+            // Allocation-sensitivity probes: peaks combine by max (order
+            // independent), spill events by sum. A change in buffer
+            // recycling or inline capacity moves these before it moves any
+            // simulated-work counter.
+            peak_check_events = peak_check_events.max(side.totals.peak_check_events);
+            peak_store_chain = peak_store_chain.max(side.totals.peak_store_chain);
+            store_chain_spills += side.totals.store_chain_spills;
+        }
+    }
+    // Workload artifact cache population after the sweep. The grid's cells
+    // hold clones of the builder's two workloads, so all cells of one
+    // workload share one cache; count each underlying cache once.
+    let mut seen = std::collections::BTreeSet::new();
+    let mut cached_programs = 0usize;
+    let mut cached_memories = 0usize;
+    for cell in grid.cells() {
+        if seen.insert(cell.workload.name()) {
+            let (programs, memory) = cell.workload.cache_population();
+            cached_programs += programs;
+            cached_memories += usize::from(memory);
         }
     }
     // Scheduler steals under a fixed drain schedule: deal to four
@@ -270,6 +293,11 @@ fn report_counters() {
     println!("counter serializing_stall_cycles {serializing_stalls}");
     println!("counter skipped_cycles {skipped}");
     println!("counter queue_steals_fixed_drain {}", queue.steals());
+    println!("counter peak_check_events {peak_check_events}");
+    println!("counter peak_store_chain {peak_store_chain}");
+    println!("counter store_chain_spills {store_chain_spills}");
+    println!("counter workload_programs_cached {cached_programs}");
+    println!("counter workload_memories_cached {cached_memories}");
 }
 
 fn main() {

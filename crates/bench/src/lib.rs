@@ -31,7 +31,7 @@
 //!   `MANIFEST_*.jsonl` shard manifests are written.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use reunion_core::{ClassSummary, SampleConfig};
 use reunion_sim::{env_flag, out_dir, ExperimentGrid, ExperimentReport, Runner, ShardSpec};

@@ -83,6 +83,9 @@ pub struct PairDriver {
     strict: bool,
     vocal_events: VecDeque<CheckEvent>,
     mute_events: VecDeque<CheckEvent>,
+    /// Reused transfer buffer for the strict oracle's per-tick LVQ copy —
+    /// drained every tick, so its capacity amortizes to zero allocations.
+    lvq_xfer: Vec<u64>,
     phase: RecoveryPhase,
     sync_interval: Option<u64>,
     /// A detected fingerprint difference whose *physical* comparison time
@@ -110,6 +113,7 @@ impl PairDriver {
             strict,
             vocal_events: VecDeque::new(),
             mute_events: VecDeque::new(),
+            lvq_xfer: Vec::new(),
             phase: RecoveryPhase::Normal,
             sync_interval: None,
             pending_mismatch: None,
@@ -172,8 +176,8 @@ impl PairDriver {
     /// Advances the pair by one cycle.
     pub fn tick(&mut self, now: Cycle, mem: &mut MemorySystem) {
         if self.strict {
-            let values = self.vocal.take_load_values();
-            self.mute.push_lvq(values);
+            self.vocal.drain_load_values_into(&mut self.lvq_xfer);
+            self.mute.push_lvq(self.lvq_xfer.drain(..));
         }
         self.vocal.tick(now, mem);
         self.mute.tick(now, mem);
@@ -267,18 +271,9 @@ impl PairDriver {
     fn collect_events(&mut self) {
         let ve = self.vocal.epoch();
         let me = self.mute.epoch();
-        self.vocal_events.extend(
-            self.vocal
-                .take_check_events()
-                .into_iter()
-                .filter(|e| e.epoch == ve),
-        );
-        self.mute_events.extend(
-            self.mute
-                .take_check_events()
-                .into_iter()
-                .filter(|e| e.epoch == me),
-        );
+        self.vocal
+            .drain_check_events_into(ve, &mut self.vocal_events);
+        self.mute.drain_check_events_into(me, &mut self.mute_events);
     }
 
     fn compare_and_release(&mut self, now: Cycle, mem: &mut MemorySystem) {

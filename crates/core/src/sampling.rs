@@ -243,6 +243,9 @@ fn accumulate(into: &mut SystemStats, w: &SystemStats) {
     into.phantom_garbage_fills += w.phantom_garbage_fills;
     into.serializing_stall_cycles += w.serializing_stall_cycles;
     into.reexec_penalty_cycles += w.reexec_penalty_cycles;
+    into.peak_check_events = into.peak_check_events.max(w.peak_check_events);
+    into.peak_store_chain = into.peak_store_chain.max(w.peak_store_chain);
+    into.store_chain_spills += w.store_chain_spills;
 }
 
 #[cfg(test)]

@@ -46,6 +46,16 @@ pub struct SystemStats {
     /// Check round-trip cycles charged during input-incoherence
     /// re-executions, summed over both halves of every pair.
     pub reexec_penalty_cycles: u64,
+    /// Peak check-event buffer occupancy over all cores — allocation
+    /// sensitivity: the buffers recycle their capacity, so this bounds the
+    /// steady-state footprint of the event path.
+    pub peak_check_events: u64,
+    /// Peak store-buffer chain length over all cores (entries pending
+    /// behind one word).
+    pub peak_store_chain: u64,
+    /// Store-buffer pushes that spilled past the inline small-buffer
+    /// capacity onto the heap, summed over all cores.
+    pub store_chain_spills: u64,
 }
 
 impl SystemStats {
@@ -66,6 +76,14 @@ impl SystemStats {
         } else {
             events as f64 * 1.0e6 / self.user_instructions as f64
         }
+    }
+
+    /// Folds one core's allocation-sensitivity probes into the aggregate:
+    /// peaks combine by max, spill counts by sum.
+    pub fn note_allocation_probes(&mut self, core: &reunion_cpu::CoreStats) {
+        self.peak_check_events = self.peak_check_events.max(core.peak_check_events);
+        self.peak_store_chain = self.peak_store_chain.max(core.peak_store_chain);
+        self.store_chain_spills += core.store_chain_spills.value();
     }
 }
 
@@ -96,7 +114,7 @@ impl CmpSystem {
     pub fn new(cfg: &SystemConfig, workload: &Workload) -> Self {
         let mem_cfg = cfg.mem.clone().scaled_for_cores(cfg.physical_cores());
         let mut mem = MemorySystem::new(mem_cfg);
-        for (addr, value) in workload.initial_memory() {
+        for &(addr, value) in workload.initial_memory().iter() {
             mem.poke(addr, value);
         }
 
@@ -382,6 +400,7 @@ impl CmpSystem {
             match proc {
                 Proc::Single(core) => {
                     stats.tlb_misses += core.stats().tlb_misses();
+                    stats.note_allocation_probes(core.stats());
                 }
                 Proc::Pair(pair) => {
                     stats.mismatches += pair.stats().mismatches.value();
@@ -395,6 +414,7 @@ impl CmpSystem {
                         stats.serializing_stall_cycles +=
                             core.stats().serializing_stall_cycles.value();
                         stats.reexec_penalty_cycles += core.stats().reexec_penalty_cycles.value();
+                        stats.note_allocation_probes(core.stats());
                     }
                 }
             }

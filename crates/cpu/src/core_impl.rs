@@ -1,6 +1,6 @@
 //! The core pipeline: dispatch, execution timing, check and retirement.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use reunion_fingerprint::{FingerprintUnit, UpdateRecord};
@@ -8,7 +8,7 @@ use reunion_isa::{
     alu_compute, branch_decides, effective_address, Addr, ArchState, Instruction, Opcode, Program,
     RegId,
 };
-use reunion_kernel::{Cycle, EventHorizon, SimRng};
+use reunion_kernel::{Cycle, EventHorizon, FastHashMap, InlineVec, SimRng};
 use reunion_mem::{L1Id, MemorySystem};
 
 use crate::{
@@ -64,13 +64,24 @@ pub struct Core {
     fetch_free: u64,
     halted: bool,
 
-    pending_stores: HashMap<u64, Vec<(u64, u64)>>,
+    // Store chains behind one word are almost always a single entry;
+    // InlineVec keeps pushes off the allocator, and FastHashMap keeps the
+    // per-access lookups off SipHash. Neither map is ever iterated.
+    pending_stores: FastHashMap<u64, InlineVec<(u64, u64), 4>>,
     sb_count: usize,
     last_drain_done: u64,
 
     fp: FingerprintUnit,
     events: Vec<CheckEvent>,
-    grants: HashMap<(u64, u64), u64>,
+    /// Release grants for the current epoch, ordered by interval id.
+    ///
+    /// The pair driver compares fingerprints in interval order and the ROB
+    /// consumes intervals in program order, so grants behave as a FIFO:
+    /// `(interval_id, granted_at)` pairs are pushed at the back, looked up
+    /// at the front, and popped when their interval fully retires. Stale
+    /// epochs never enter ([`grant`](Self::grant) filters them) and
+    /// [`rollback`](Self::rollback) clears the queue wholesale.
+    grants: VecDeque<(u64, u64)>,
 
     lvq: VecDeque<u64>,
     load_values_out: Vec<u64>,
@@ -122,12 +133,12 @@ impl Core {
             last_check_time: 0,
             fetch_free: 0,
             halted: false,
-            pending_stores: HashMap::new(),
+            pending_stores: FastHashMap::default(),
             sb_count: 0,
             last_drain_done: 0,
             fp: FingerprintUnit::new(fp_width),
             events: Vec::new(),
-            grants: HashMap::new(),
+            grants: VecDeque::new(),
             lvq: VecDeque::new(),
             load_values_out: Vec::new(),
             lvq_producer: false,
@@ -216,10 +227,29 @@ impl Core {
         std::mem::take(&mut self.events)
     }
 
+    /// Appends the fingerprints emitted since the last drain that belong to
+    /// `epoch` onto `out`, discarding stale-epoch leftovers — the per-tick
+    /// variant of [`take_check_events`](Self::take_check_events) that keeps
+    /// the internal buffer's capacity instead of surrendering it.
+    pub fn drain_check_events_into(&mut self, epoch: u64, out: &mut VecDeque<CheckEvent>) {
+        for ev in self.events.drain(..) {
+            if ev.epoch == epoch {
+                out.push_back(ev);
+            }
+        }
+    }
+
     /// Drains load values bound since the last call (for the strict-model
     /// load-value queue).
     pub fn take_load_values(&mut self) -> Vec<u64> {
         std::mem::take(&mut self.load_values_out)
+    }
+
+    /// Appends the load values bound since the last drain onto `out`,
+    /// keeping the internal buffer's capacity — the per-tick variant of
+    /// [`take_load_values`](Self::take_load_values).
+    pub fn drain_load_values_into(&mut self, out: &mut Vec<u64>) {
+        out.append(&mut self.load_values_out);
     }
 
     /// Appends values to this core's load-value queue (trailing core of the
@@ -229,11 +259,32 @@ impl Core {
     }
 
     /// Grants retirement permission for an interval (driver use).
+    ///
+    /// Grants arrive in increasing interval order within an epoch (the
+    /// comparator works through its queues in FIFO order), which is what
+    /// keeps the internal grant queue sorted without searching.
     pub fn grant(&mut self, grant: ReleaseGrant) {
         if grant.epoch == self.epoch {
             self.grants
-                .insert((grant.epoch, grant.interval_id), grant.at.as_u64());
+                .push_back((grant.interval_id, grant.at.as_u64()));
         }
+    }
+
+    /// The release time granted to `interval_id`, if its grant has arrived.
+    ///
+    /// Spent grants are popped promptly at retirement, so the front of the
+    /// queue is almost always the answer; the scan exists for the
+    /// interval>1 case where several ROB entries share one grant.
+    fn granted_at(&self, interval_id: u64) -> Option<u64> {
+        for &(id, at) in &self.grants {
+            if id == interval_id {
+                return Some(at);
+            }
+            if id > interval_id {
+                return None;
+            }
+        }
+        None
     }
 
     /// The synchronizing request this core is blocked on, if any.
@@ -332,10 +383,11 @@ impl Core {
             if head.completion == u64::MAX {
                 break;
             }
-            if self.cfg.checking && !self.grants.contains_key(&(self.epoch, head.interval_id)) {
+            if self.cfg.checking && self.granted_at(head.interval_id).is_none() {
                 break;
             }
             let entry = self.rob.pop_front().expect("head exists");
+            self.release_spent_grant(&entry);
             if let Some((dst, value)) = entry.reg_write {
                 self.retired.regs.write(dst, value);
             }
@@ -455,7 +507,7 @@ impl Core {
                 if self.cfg.checking {
                     // Ungranted heads wait on the partner's fingerprint —
                     // the partner core's activity, not this core's.
-                    if let Some(&granted_at) = self.grants.get(&(self.epoch, head.interval_id)) {
+                    if let Some(granted_at) = self.granted_at(head.interval_id) {
                         horizon.note(Cycle::new(head.check_time.max(granted_at).max(floor)));
                     }
                 } else {
@@ -480,6 +532,22 @@ impl Core {
     // Retirement.
     // ------------------------------------------------------------------
 
+    /// Reclaims the retired entry's release grant once the last ROB entry
+    /// of its interval leaves the pipeline. A grant only exists after its
+    /// whole interval has dispatched (its fingerprint must have been
+    /// emitted and compared first), and an interval's entries are
+    /// contiguous in program order — so when the new ROB head belongs to a
+    /// different interval, nothing can look this grant up again. Keeps the
+    /// queue at O(in-flight intervals) instead of growing for a whole epoch.
+    fn release_spent_grant(&mut self, entry: &RobEntry) {
+        if self.cfg.checking
+            && self.rob.front().map(|h| h.interval_id) != Some(entry.interval_id)
+            && self.grants.front().map(|&(id, _)| id) == Some(entry.interval_id)
+        {
+            self.grants.pop_front();
+        }
+    }
+
     fn retire(&mut self, now: Cycle, mem: &mut MemorySystem) {
         let now_raw = now.as_u64();
         let mut retired = 0;
@@ -489,7 +557,7 @@ impl Core {
                 break;
             }
             if self.cfg.checking {
-                let Some(&granted_at) = self.grants.get(&(self.epoch, head.interval_id)) else {
+                let Some(granted_at) = self.granted_at(head.interval_id) else {
                     break;
                 };
                 // An interval ending in a serializing instruction drains the
@@ -509,6 +577,7 @@ impl Core {
                 }
             }
             let entry = self.rob.pop_front().expect("head exists");
+            self.release_spent_grant(&entry);
 
             if let Some((dst, value)) = entry.reg_write {
                 self.retired.regs.write(dst, value);
@@ -747,10 +816,13 @@ impl Core {
                     let value = self.spec.regs.read(inst.src2.expect("store src2"));
                     store = Some((addr, value));
                     self.sb_count += 1;
-                    self.pending_stores
-                        .entry(addr.word().as_u64())
-                        .or_default()
-                        .push((seq, value));
+                    let chain = self.pending_stores.entry(addr.word().as_u64()).or_default();
+                    chain.push((seq, value));
+                    self.stats.peak_store_chain =
+                        self.stats.peak_store_chain.max(chain.len() as u64);
+                    if chain.spilled() {
+                        self.stats.store_chain_spills.incr();
+                    }
                     completion = exec_start + 1;
                     record = UpdateRecord::store(addr.as_u64(), value);
                 }
@@ -906,6 +978,7 @@ impl Core {
             ready_at: ready,
             serializing,
         });
+        self.stats.peak_check_events = self.stats.peak_check_events.max(self.events.len() as u64);
     }
 
     fn itlb_miss_now(&mut self) -> bool {

@@ -33,6 +33,17 @@ pub struct CoreStats {
     /// Cycles charged as check-stage round-trip penalties during
     /// input-incoherence re-executions.
     pub reexec_penalty_cycles: Counter,
+    /// Peak occupancy of the check-event buffer between drains — an
+    /// allocation-sensitivity probe: the buffer's capacity is recycled, so
+    /// a jump here means the hot path's steady-state footprint changed.
+    pub peak_check_events: u64,
+    /// Peak length of any one store-buffer chain (pending stores behind a
+    /// single word). Stays within the inline capacity on every suite
+    /// workload; see `store_chain_spills`.
+    pub peak_store_chain: u64,
+    /// Store-buffer pushes that landed past the inline small-buffer
+    /// capacity and hit the heap.
+    pub store_chain_spills: Counter,
 }
 
 impl CoreStats {
@@ -52,6 +63,9 @@ impl CoreStats {
             intervals: Counter::new("intervals"),
             serializing_stall_cycles: Counter::new("serializing_stall_cycles"),
             reexec_penalty_cycles: Counter::new("reexec_penalty_cycles"),
+            peak_check_events: 0,
+            peak_store_chain: 0,
+            store_chain_spills: Counter::new("store_chain_spills"),
         }
     }
 
@@ -70,6 +84,9 @@ impl CoreStats {
         self.intervals.reset();
         self.serializing_stall_cycles.reset();
         self.reexec_penalty_cycles.reset();
+        self.peak_check_events = 0;
+        self.peak_store_chain = 0;
+        self.store_chain_spills.reset();
     }
 
     /// Combined TLB misses (Table 3's "TLB Misses" column).

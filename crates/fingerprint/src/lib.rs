@@ -43,7 +43,7 @@ mod parity;
 mod two_stage;
 mod unit;
 
-pub use crc::Crc;
+pub use crc::{BitwiseCrc, Crc};
 pub use parity::ParityTree;
 pub use two_stage::TwoStageCompressor;
 pub use unit::{Fingerprint, FingerprintUnit, UpdateRecord};

@@ -140,23 +140,34 @@ impl FingerprintUnit {
     /// Absorbs one instruction's update record.
     pub fn absorb(&mut self, record: &UpdateRecord) {
         // Fixed lane tags keep distinct update kinds from aliasing (a store
-        // of value V and a register write of V must differ).
+        // of value V and a register write of V must differ). The record is
+        // serialized into one stack buffer and consumed in a single call:
+        // the CRC is chunking-invariant, so the hash is identical to
+        // feeding each field separately, but the slice-by-8 engine sees
+        // whole 8-byte folds instead of a run of 1–2 byte tails.
+        let mut buf = [0u8; 38];
+        let mut len = 0;
+        let mut put = |bytes: &[u8]| {
+            buf[len..len + bytes.len()].copy_from_slice(bytes);
+            len += bytes.len();
+        };
         if let Some((idx, value)) = record.reg {
-            self.crc.consume(&[0xA1, idx]);
-            self.crc.consume_u64(value);
+            put(&[0xA1, idx]);
+            put(&value.to_be_bytes());
         }
         if let Some(addr) = record.addr {
-            self.crc.consume(&[0xB2]);
-            self.crc.consume_u64(addr);
+            put(&[0xB2]);
+            put(&addr.to_be_bytes());
         }
         if let Some(data) = record.data {
-            self.crc.consume(&[0xC3]);
-            self.crc.consume_u64(data);
+            put(&[0xC3]);
+            put(&data.to_be_bytes());
         }
         if let Some(target) = record.target {
-            self.crc.consume(&[0xD4]);
-            self.crc.consume_u64(target);
+            put(&[0xD4]);
+            put(&target.to_be_bytes());
         }
+        self.crc.consume(&buf[..len]);
         self.count += 1;
     }
 

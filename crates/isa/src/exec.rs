@@ -1,6 +1,6 @@
 //! Exact functional semantics and the golden-model interpreter.
 
-use std::collections::HashMap;
+use reunion_kernel::FastHashMap;
 
 use crate::{Addr, AluOp, ArchState, AtomicOp, BranchCond, Instruction, Opcode, Program, RegId};
 
@@ -78,7 +78,10 @@ impl<M: DataMemory + ?Sized> DataMemory for &mut M {
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SparseMemory {
-    words: HashMap<u64, u64>,
+    // FastHashMap rather than SipHash: `peek`/`poke` run once per simulated
+    // memory access, and this map is never iterated, so hashing is pure
+    // point-lookup cost.
+    words: FastHashMap<u64, u64>,
 }
 
 impl SparseMemory {

@@ -1,6 +1,7 @@
 //! Program images.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{Instruction, Opcode};
 
@@ -45,6 +46,10 @@ impl std::error::Error for ProgramError {}
 /// image; divergence can only come from data values (input incoherence) or
 /// injected soft errors, exactly as in the paper's model.
 ///
+/// The instruction storage is `Arc`-backed, so `Clone` is a reference-count
+/// bump rather than a copy of the image: every core of every system built
+/// from the same workload shares one allocation.
+///
 /// # Examples
 ///
 /// ```
@@ -62,8 +67,8 @@ impl std::error::Error for ProgramError {}
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Program {
-    name: String,
-    code: Vec<Instruction>,
+    name: Arc<str>,
+    code: Arc<[Instruction]>,
     entry: usize,
 }
 
@@ -103,8 +108,8 @@ impl Program {
             }
         }
         Ok(Program {
-            name: name.into(),
-            code,
+            name: name.into().into(),
+            code: code.into(),
             entry,
         })
     }

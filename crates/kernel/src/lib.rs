@@ -17,6 +17,11 @@
 //! * [`EventHorizon`] — the fold a time-skipping engine uses to combine
 //!   per-component "earliest activity" reports into the next cycle worth
 //!   simulating.
+//! * [`hash`] — a fixed-seed fast hasher ([`FastHashMap`]) for the
+//!   simulator's hot point-lookup maps, where SipHash's DoS resistance is
+//!   pure overhead.
+//! * [`InlineVec`] — small-buffer storage that keeps the common ≤`N`-entry
+//!   case of per-cycle collections off the allocator.
 //!
 //! # Examples
 //!
@@ -37,11 +42,15 @@
 
 mod cycle;
 mod delay;
+pub mod hash;
 mod horizon;
 mod rng;
+mod smallbuf;
 pub mod stats;
 
 pub use cycle::Cycle;
 pub use delay::DelayQueue;
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use horizon::EventHorizon;
 pub use rng::SimRng;
+pub use smallbuf::InlineVec;

@@ -1,0 +1,204 @@
+//! Inline small-buffer storage for hot per-cycle collections.
+//!
+//! Several per-core structures hold a handful of entries at a time but are
+//! created and torn down per address or per interval — store-buffer chains
+//! behind one word, for example, almost never exceed one or two entries.
+//! Backing each with a heap `Vec` makes every first push an allocation on
+//! a per-memory-access path. [`InlineVec`] keeps the first `N` elements in
+//! the struct itself and only spills to the heap past that, so the common
+//! case never touches the allocator (the workspace forbids `unsafe`, hence
+//! the `Copy + Default` bound instead of a `MaybeUninit` buffer).
+
+/// A vector whose first `N` elements live inline; later elements spill to
+/// a heap `Vec`. Drop-in for the small subset of the `Vec` API the
+/// simulator's hot paths use.
+#[derive(Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    inline: [T; N],
+    spill: Vec<T>,
+    len: usize,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty buffer; allocates nothing.
+    pub fn new() -> Self {
+        InlineVec {
+            inline: [T::default(); N],
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the buffer has ever outgrown its inline capacity (the spill
+    /// allocation is retained by [`clear`](Self::clear), like `Vec`'s).
+    #[inline]
+    pub fn spilled(&self) -> bool {
+        self.len > N
+    }
+
+    /// Appends an element, spilling to the heap past `N` entries.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = value;
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// The element at `index`, if in bounds.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            None
+        } else if index < N {
+            Some(&self.inline[index])
+        } else {
+            Some(&self.spill[index - N])
+        }
+    }
+
+    /// The most recently pushed element.
+    #[inline]
+    pub fn last(&self) -> Option<&T> {
+        self.len.checked_sub(1).and_then(|i| self.get(i))
+    }
+
+    /// Iterates the live elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline[..self.len.min(N)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+
+    /// Keeps only the elements for which `pred` holds, preserving order.
+    pub fn retain(&mut self, mut pred: impl FnMut(&T) -> bool) {
+        let mut kept = 0usize;
+        for i in 0..self.len {
+            let v = if i < N {
+                self.inline[i]
+            } else {
+                self.spill[i - N]
+            };
+            if pred(&v) {
+                if kept < N {
+                    self.inline[kept] = v;
+                } else {
+                    self.spill[kept - N] = v;
+                }
+                kept += 1;
+            }
+        }
+        self.spill.truncate(kept.saturating_sub(N));
+        self.len = kept;
+    }
+
+    /// Empties the buffer, retaining any spill allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.spill.clear();
+        self.len = 0;
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default + std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_last_within_inline() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i * 10);
+        }
+        assert_eq!(v.len(), 4);
+        assert!(!v.spilled());
+        assert_eq!(v.get(0), Some(&0));
+        assert_eq!(v.last(), Some(&30));
+        assert_eq!(v.get(4), None);
+    }
+
+    #[test]
+    fn spill_preserves_order() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        for i in 0..6 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(
+            v.iter().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        assert_eq!(v.last(), Some(&5));
+    }
+
+    #[test]
+    fn retain_compacts_across_the_spill_boundary() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        for i in 0..6 {
+            v.push(i);
+        }
+        v.retain(|&x| x % 2 == 0);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(v.len(), 3);
+        v.retain(|_| false);
+        assert!(v.is_empty());
+        assert_eq!(v.last(), None);
+    }
+
+    #[test]
+    fn clear_resets_but_buffer_is_reusable() {
+        let mut v: InlineVec<(u64, u64), 4> = InlineVec::new();
+        v.push((1, 2));
+        v.push((3, 4));
+        v.clear();
+        assert!(v.is_empty());
+        v.push((5, 6));
+        assert_eq!(v.last(), Some(&(5, 6)));
+    }
+
+    #[test]
+    fn equality_ignores_dead_inline_slots() {
+        let mut a: InlineVec<u64, 4> = InlineVec::new();
+        let mut b: InlineVec<u64, 4> = InlineVec::new();
+        a.push(7);
+        a.push(9);
+        a.retain(|&x| x == 7);
+        b.push(7);
+        assert_eq!(a, b);
+    }
+}

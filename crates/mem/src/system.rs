@@ -7,10 +7,8 @@
 //! phantom requests, ignores mute evictions and writebacks, and implements
 //! the synchronizing request used by the re-execution protocol.
 
-use std::collections::HashMap;
-
 use reunion_isa::{Addr, AtomicOp, SparseMemory};
-use reunion_kernel::{Cycle, EventHorizon};
+use reunion_kernel::{Cycle, EventHorizon, FastHashMap};
 
 use crate::{
     garbage_word, CacheArray, DirEntry, L1Id, MemConfig, MemStats, MesiState, Owner,
@@ -51,8 +49,9 @@ struct L1State {
     owner: Owner,
     tags: CacheArray<MesiState>,
     /// Private data snapshots for mute caches, line index → words. Vocal
-    /// caches read the coherent image instead.
-    mute_data: HashMap<u64, [u64; WORDS_PER_LINE]>,
+    /// caches read the coherent image instead. Point-lookup only, once per
+    /// mute access, hence the fast fixed-seed hasher.
+    mute_data: FastHashMap<u64, [u64; WORDS_PER_LINE]>,
     /// Completion times (raw cycles) of outstanding misses, pruned lazily.
     outstanding: Vec<u64>,
 }
@@ -107,7 +106,7 @@ impl MemorySystem {
         self.l1s.push(L1State {
             owner,
             tags: CacheArray::new(self.cfg.l1_lines(), self.cfg.l1_assoc),
-            mute_data: HashMap::new(),
+            mute_data: FastHashMap::default(),
             outstanding: Vec::new(),
         });
         id
@@ -244,8 +243,7 @@ impl MemorySystem {
             let ready = bank_start + self.cfg.l2_hit_latency + self.cfg.dram_latency;
             if let Some((victim_line, victim_dir)) = self.l2.tags.insert(line, DirEntry::new()) {
                 // Inclusive L2: back-invalidate vocal L1 copies of the victim.
-                let sharers: Vec<L1Id> = victim_dir.sharers_except(L1Id(usize::MAX & 31)).collect();
-                for s in sharers {
+                for s in victim_dir.sharers_except(L1Id(usize::MAX & 31)) {
                     if let Some(state) = self.l1s[s.0].tags.invalidate(victim_line) {
                         if state == MesiState::Modified {
                             self.stats.writebacks.incr();
@@ -484,20 +482,18 @@ impl MemorySystem {
         let bank_start = self.bank_service(line, start + self.cfg.crossbar_latency);
         let (l2_hit, ready) = self.l2_fill(line, bank_start);
 
-        // Invalidate all other vocal sharers.
-        let sharers: Vec<L1Id> = self
-            .l2
-            .tags
-            .peek(line)
-            .map(|d| d.sharers_except(L1Id(idx)).collect())
-            .unwrap_or_default();
-        for s in sharers {
-            if let Some(state) = self.l1s[s.0].tags.invalidate(line) {
-                if state == MesiState::Modified {
-                    self.stats.writebacks.incr();
+        // Invalidate all other vocal sharers. The directory iterator only
+        // borrows `self.l2`; the invalidations touch `self.l1s` and
+        // `self.stats`, so no intermediate collection is needed.
+        if let Some(d) = self.l2.tags.peek(line) {
+            for s in d.sharers_except(L1Id(idx)) {
+                if let Some(state) = self.l1s[s.0].tags.invalidate(line) {
+                    if state == MesiState::Modified {
+                        self.stats.writebacks.incr();
+                    }
                 }
+                self.stats.invalidations.incr();
             }
-            self.stats.invalidations.incr();
         }
         if let Some(dir) = self.l2.tags.lookup(line) {
             dir.set_owner(L1Id(idx));
@@ -650,15 +646,11 @@ impl MemorySystem {
         }
         let line = addr.line_index();
         // Re-invalidate any vocal sharer that joined since the read.
-        let sharers: Vec<L1Id> = self
-            .l2
-            .tags
-            .peek(line)
-            .map(|d| d.sharers_except(l1).collect())
-            .unwrap_or_default();
-        for s in sharers {
-            if !self.l1s[s.0].owner.is_mute() && self.l1s[s.0].tags.invalidate(line).is_some() {
-                self.stats.invalidations.incr();
+        if let Some(d) = self.l2.tags.peek(line) {
+            for s in d.sharers_except(l1) {
+                if !self.l1s[s.0].owner.is_mute() && self.l1s[s.0].tags.invalidate(line).is_some() {
+                    self.stats.invalidations.incr();
+                }
             }
         }
         let current = self.image.peek(addr);
@@ -673,19 +665,15 @@ impl MemorySystem {
         let start = self.miss_start_time(idx, now);
         let bank_start = self.bank_service(line, start + self.cfg.crossbar_latency);
         let (l2_hit, ready) = self.l2_fill(line, bank_start);
-        let sharers: Vec<L1Id> = self
-            .l2
-            .tags
-            .peek(line)
-            .map(|d| d.sharers_except(L1Id(idx)).collect())
-            .unwrap_or_default();
-        for s in sharers {
-            if let Some(state) = self.l1s[s.0].tags.invalidate(line) {
-                if state == MesiState::Modified {
-                    self.stats.writebacks.incr();
+        if let Some(d) = self.l2.tags.peek(line) {
+            for s in d.sharers_except(L1Id(idx)) {
+                if let Some(state) = self.l1s[s.0].tags.invalidate(line) {
+                    if state == MesiState::Modified {
+                        self.stats.writebacks.incr();
+                    }
                 }
+                self.stats.invalidations.incr();
             }
-            self.stats.invalidations.incr();
         }
         if let Some(dir) = self.l2.tags.lookup(line) {
             dir.set_owner(L1Id(idx));
@@ -746,15 +734,11 @@ impl MemorySystem {
         let (_, ready) = self.l2_fill(line, bank_start);
 
         // Invalidate remaining vocal sharers (write semantics).
-        let sharers: Vec<L1Id> = self
-            .l2
-            .tags
-            .peek(line)
-            .map(|d| d.sharers_except(vocal).collect())
-            .unwrap_or_default();
-        for s in sharers {
-            if !self.l1s[s.0].owner.is_mute() && self.l1s[s.0].tags.invalidate(line).is_some() {
-                self.stats.invalidations.incr();
+        if let Some(d) = self.l2.tags.peek(line) {
+            for s in d.sharers_except(vocal) {
+                if !self.l1s[s.0].owner.is_mute() && self.l1s[s.0].tags.invalidate(line).is_some() {
+                    self.stats.invalidations.incr();
+                }
             }
         }
 

@@ -1,8 +1,27 @@
 //! The eleven named workloads of the evaluation (Table 2).
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use reunion_isa::{Addr, Program};
 
 use crate::{gen, SharingModel, WorkloadClass, WorkloadSpec};
+
+/// Lazily generated workload artifacts, shared by every clone of one
+/// [`Workload`] — and hence by every grid cell and every `CmpSystem` built
+/// from it. Generation is deterministic (seeded by the spec), so caching
+/// cannot change a single byte of any artifact; it only stops the grid
+/// from regenerating multi-megabyte memory images and program vectors once
+/// per cell per system.
+#[derive(Debug, Default)]
+struct ArtifactCache {
+    /// Per-thread program images. `Program` is `Arc`-backed, so the stored
+    /// clone and every handout share one instruction allocation.
+    programs: Mutex<HashMap<usize, Program>>,
+    /// The initial memory image (pointer rings etc.) — up to half a million
+    /// entries for em3d; generated at most once per workload.
+    memory: OnceLock<Arc<[(Addr, u64)]>>,
+}
 
 /// A named workload: its parameterization plus program/memory generation.
 ///
@@ -17,13 +36,29 @@ use crate::{gen, SharingModel, WorkloadClass, WorkloadSpec};
 #[derive(Clone, Debug)]
 pub struct Workload {
     spec: WorkloadSpec,
+    /// `None` for a cache-disabled workload ([`Workload::uncached`]) —
+    /// every call regenerates from the spec, the reference behaviour the
+    /// byte-identity property test compares the cache against.
+    cache: Option<Arc<ArtifactCache>>,
 }
 
 impl Workload {
     /// Wraps a custom spec (the named suite uses [`suite`]).
     pub fn from_spec(spec: WorkloadSpec) -> Self {
         spec.assert_valid();
-        Workload { spec }
+        Workload {
+            spec,
+            cache: Some(Arc::new(ArtifactCache::default())),
+        }
+    }
+
+    /// Wraps a custom spec with the artifact cache disabled: every
+    /// [`program`](Self::program) and [`initial_memory`](Self::initial_memory)
+    /// call regenerates from scratch. Exists so tests can verify the cache
+    /// is purely an optimization (identical artifacts, identical reports).
+    pub fn uncached(spec: WorkloadSpec) -> Self {
+        spec.assert_valid();
+        Workload { spec, cache: None }
     }
 
     /// Looks up a workload from the standard suite by (case-insensitive)
@@ -49,15 +84,46 @@ impl Workload {
         &self.spec
     }
 
-    /// Generates the program image for logical processor `thread`.
+    /// The program image for logical processor `thread` — generated once
+    /// per thread and served as a shared handle afterwards (`Program` clones
+    /// are reference-count bumps).
     pub fn program(&self, thread: usize) -> Program {
-        gen::generate_program(&self.spec, thread)
+        match &self.cache {
+            Some(cache) => {
+                let mut programs = cache.programs.lock().expect("program cache poisoned");
+                programs
+                    .entry(thread)
+                    .or_insert_with(|| gen::generate_program(&self.spec, thread))
+                    .clone()
+            }
+            None => gen::generate_program(&self.spec, thread),
+        }
     }
 
     /// Initial memory contents (pointer rings etc.), to be applied to the
-    /// memory system before simulation.
-    pub fn initial_memory(&self) -> Vec<(Addr, u64)> {
-        gen::initial_memory(&self.spec)
+    /// memory system before simulation — generated once and shared; every
+    /// system built from this workload gets a handle to the same image.
+    pub fn initial_memory(&self) -> Arc<[(Addr, u64)]> {
+        match &self.cache {
+            Some(cache) => cache
+                .memory
+                .get_or_init(|| gen::initial_memory(&self.spec).into())
+                .clone(),
+            None => gen::initial_memory(&self.spec).into(),
+        }
+    }
+
+    /// `(cached programs, memory image cached)` — the artifact cache's
+    /// population, for the deterministic counters gate. `(0, false)` for an
+    /// [`uncached`](Self::uncached) workload.
+    pub fn cache_population(&self) -> (usize, bool) {
+        match &self.cache {
+            Some(cache) => (
+                cache.programs.lock().expect("program cache poisoned").len(),
+                cache.memory.get().is_some(),
+            ),
+            None => (0, false),
+        }
     }
 }
 
@@ -516,7 +582,7 @@ mod tests {
         for w in suite() {
             let prog = w.program(0);
             let mut mem = SparseMemory::new();
-            for (addr, value) in w.initial_memory() {
+            for &(addr, value) in w.initial_memory().iter() {
                 mem.poke(addr, value);
             }
             let mut core = FunctionalCore::new();
@@ -562,5 +628,32 @@ mod tests {
         for w in suite() {
             assert_eq!(w.program(1), w.program(1), "{}", w.name());
         }
+    }
+
+    #[test]
+    fn cache_serves_identical_artifacts_to_fresh_generation() {
+        let cached = Workload::by_name("sparse").unwrap();
+        let fresh = Workload::uncached(cached.spec().clone());
+        assert_eq!(cached.cache_population(), (0, false));
+        for thread in 0..3 {
+            assert_eq!(cached.program(thread), fresh.program(thread));
+        }
+        assert_eq!(
+            cached.initial_memory().as_ref(),
+            fresh.initial_memory().as_ref()
+        );
+        assert_eq!(cached.cache_population(), (3, true));
+        assert_eq!(fresh.cache_population(), (0, false));
+    }
+
+    #[test]
+    fn clones_share_one_cache() {
+        let a = Workload::by_name("moldyn").unwrap();
+        let b = a.clone();
+        let _ = a.program(0);
+        let _ = b.initial_memory();
+        // Work done through either clone is visible through the other.
+        assert_eq!(a.cache_population(), (1, true));
+        assert_eq!(b.cache_population(), (1, true));
     }
 }

@@ -11,7 +11,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use reunion_core as core_model;
 pub use reunion_cpu as cpu;
