@@ -30,6 +30,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use reunion_bench::run_options_with_extras;
 use reunion_sim::{find_manifests, merge_manifests, parse_json, JsonValue};
 
 /// Default relative tolerance for numeric leaves.
@@ -43,7 +44,10 @@ struct Drift {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Shared surface first (uniform flag/environment handling); this
+    // tool's own --tolerance flag and the two positional directories come
+    // back as leftovers.
+    let (_, args) = run_options_with_extras();
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut dirs = Vec::new();
     let mut it = args.iter();

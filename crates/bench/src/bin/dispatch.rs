@@ -37,7 +37,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use reunion_bench::Profile;
+use reunion_bench::{run_options_with_extras, Profile, RUN_OPTIONS_USAGE};
 use reunion_dispatch::{DispatchConfig, Dispatcher, FailureInjection, HostPool, TransportDefaults};
 
 struct Opts {
@@ -54,11 +54,14 @@ struct Opts {
     inject_kill: Option<FailureInjection>,
 }
 
-fn usage() -> &'static str {
-    "usage: dispatch --grid <id> --shards <N> --pool <pool.toml|pool.json>\n\
-     \x20      [--profile full|fast] [--out <dir>] [--work-root <dir>]\n\
-     \x20      [--bin-dir <dir>] [--lease-secs <s>] [--poll-ms <ms>]\n\
-     \x20      [--max-host-failures <k>] [--inject-kill <shard>:<cells>]"
+fn usage() -> String {
+    format!(
+        "usage: dispatch --grid <id> --shards <N> --pool <pool.toml|pool.json>\n\
+         \x20      [--out <dir>] [--work-root <dir>]\n\
+         \x20      [--bin-dir <dir>] [--lease-secs <s>] [--poll-ms <ms>]\n\
+         \x20      [--max-host-failures <k>] [--inject-kill <shard>:<cells>]\n\
+         \x20      plus the shared {RUN_OPTIONS_USAGE}"
+    )
 }
 
 fn parse_inject(s: &str) -> Result<FailureInjection, String> {
@@ -75,11 +78,10 @@ fn parse_inject(s: &str) -> Result<FailureInjection, String> {
     })
 }
 
-fn parse_args(args: impl Iterator<Item = String>) -> Result<Opts, String> {
+fn parse_args(args: impl Iterator<Item = String>, profile: Profile) -> Result<Opts, String> {
     let mut grid = None;
     let mut shards = None;
     let mut pool = None;
-    let mut profile = Profile::Full;
     let mut out = reunion_sim::out_dir();
     let mut work_root = None;
     let mut bin_dir = None;
@@ -102,7 +104,6 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Opts, String> {
                 )
             }
             "--pool" => pool = Some(PathBuf::from(value("--pool")?)),
-            "--profile" => profile = value("--profile")?.parse()?,
             "--out" => out = PathBuf::from(value("--out")?),
             "--work-root" => work_root = Some(PathBuf::from(value("--work-root")?)),
             "--bin-dir" => bin_dir = Some(PathBuf::from(value("--bin-dir")?)),
@@ -147,7 +148,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Opts, String> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args(std::env::args().skip(1)) {
+    // Shared surface first (profile/engine/obs/...; exported to the
+    // environment so locally spawned workers inherit the choices), then
+    // the dispatcher's own flags from the leftovers.
+    let (run, leftovers) = run_options_with_extras();
+    let opts = match parse_args(leftovers.into_iter(), run.profile) {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("{e}");

@@ -1,12 +1,12 @@
 //! Figure 5: baseline performance of Strict and Reunion, normalized to the
 //! non-redundant CMP, at a 10-cycle comparison latency.
 
-use reunion_bench::{banner, commercial_scientific_averages, parse_opts, run_and_emit, workloads};
+use reunion_bench::{banner, commercial_scientific_averages, run_and_emit, run_options, workloads};
 use reunion_core::ExecutionMode;
 use reunion_sim::ExperimentGrid;
 
 fn main() {
-    let opts = parse_opts();
+    let opts = run_options();
     banner(
         "Figure 5",
         "Normalized IPC of Strict and Reunion (10-cycle comparison latency)",
@@ -19,7 +19,7 @@ fn main() {
     .workloads(workloads())
     .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
     .build();
-    let Some(report) = run_and_emit(&grid) else {
+    let Some(report) = run_and_emit(&grid).into_report() else {
         return;
     };
 

@@ -2,7 +2,7 @@
 //! comparison latency (0–40 cycles), averaged per workload class.
 
 use reunion_bench::{
-    banner, class_averages, latency_label, parse_opts, run_and_emit, workloads, SWEEP_LATENCIES,
+    banner, class_averages, latency_label, run_and_emit, run_options, workloads, SWEEP_LATENCIES,
 };
 use reunion_core::ExecutionMode;
 use reunion_sim::{ConfigPatch, ExperimentGrid, ExperimentReport};
@@ -30,7 +30,7 @@ fn panel(report: &ExperimentReport, mode: ExecutionMode) {
 }
 
 fn main() {
-    let opts = parse_opts();
+    let opts = run_options();
     let grid = ExperimentGrid::builder(
         "fig6",
         "Strict and Reunion vs comparison latency (normalized IPC)",
@@ -45,7 +45,7 @@ fn main() {
             .collect(),
     )
     .build();
-    let Some(report) = run_and_emit(&grid) else {
+    let Some(report) = run_and_emit(&grid).into_report() else {
         return;
     };
 

@@ -1,7 +1,7 @@
 //! Figure 7(a): Reunion performance under each phantom-request strength
 //! (10-cycle comparison latency), normalized to the non-redundant baseline.
 
-use reunion_bench::{banner, parse_opts, run_and_emit, workloads};
+use reunion_bench::{banner, run_and_emit, run_options, workloads};
 use reunion_core::ExecutionMode;
 use reunion_mem::PhantomStrength;
 use reunion_sim::{ConfigPatch, ExperimentGrid};
@@ -13,7 +13,7 @@ const STRENGTHS: [PhantomStrength; 3] = [
 ];
 
 fn main() {
-    let opts = parse_opts();
+    let opts = run_options();
     banner(
         "Figure 7(a)",
         "Reunion normalized IPC per phantom strength (10-cycle latency)",
@@ -32,7 +32,7 @@ fn main() {
             .collect(),
     )
     .build();
-    let Some(report) = run_and_emit(&grid) else {
+    let Some(report) = run_and_emit(&grid).into_report() else {
         return;
     };
 

@@ -2,7 +2,7 @@
 //! vs UltraSPARC III software-managed TLBs, across comparison latencies.
 
 use reunion_bench::{
-    banner, commercial_workloads, keyed_latency_label, parse_opts, run_and_emit, SWEEP_LATENCIES,
+    banner, commercial_workloads, keyed_latency_label, run_and_emit, run_options, SWEEP_LATENCIES,
 };
 use reunion_core::ExecutionMode;
 use reunion_cpu::TlbMode;
@@ -18,7 +18,7 @@ const TLBS: [(&str, &str, TlbMode); 2] = [
 ];
 
 fn main() {
-    let opts = parse_opts();
+    let opts = run_options();
     banner(
         "Figure 7(b)",
         "Commercial average: hardware vs software-managed TLB (Reunion)",
@@ -42,7 +42,7 @@ fn main() {
     .modes(&[ExecutionMode::Reunion])
     .patches(patches)
     .build();
-    let Some(report) = run_and_emit(&grid) else {
+    let Some(report) = run_and_emit(&grid).into_report() else {
         return;
     };
 

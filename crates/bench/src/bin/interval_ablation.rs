@@ -1,7 +1,7 @@
 //! §4.3 fingerprint-interval ablation: the paper finds the performance
 //! difference between intervals of 1 and 50 instructions insignificant.
 
-use reunion_bench::{banner, parse_opts, run_and_emit, workloads};
+use reunion_bench::{banner, run_and_emit, run_options, workloads};
 use reunion_core::ExecutionMode;
 use reunion_sim::{ConfigPatch, ExperimentGrid};
 
@@ -12,7 +12,7 @@ fn interval_label(interval: u32) -> String {
 }
 
 fn main() {
-    let opts = parse_opts();
+    let opts = run_options();
     banner(
         "Fingerprint-interval ablation (§4.3)",
         "Reunion normalized IPC vs fingerprint interval (10-cycle latency)",
@@ -31,7 +31,7 @@ fn main() {
             .collect(),
     )
     .build();
-    let Some(report) = run_and_emit(&grid) else {
+    let Some(report) = run_and_emit(&grid).into_report() else {
         return;
     };
 

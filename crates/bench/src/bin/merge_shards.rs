@@ -21,10 +21,14 @@
 use std::path::Path;
 use std::process::ExitCode;
 
+use reunion_bench::run_options_with_extras;
 use reunion_sim::{find_manifests, merge_manifests};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Shared surface first (this tool only reads manifests, but resolving
+    // uniformly keeps `REUNION_*`/flag handling identical across binaries);
+    // the manifest directory is the sole positional leftover.
+    let (_, args) = run_options_with_extras();
     let [dir] = args.as_slice() else {
         eprintln!("usage: merge_shards <manifest_dir>");
         return ExitCode::FAILURE;

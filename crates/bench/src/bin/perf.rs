@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use reunion_bench::{banner, workloads, Engine, Profile};
+use reunion_bench::{banner, workloads, Engine, Profile, RunOptions};
 use reunion_core::{ExecutionMode, SampleConfig, SystemConfig};
 use reunion_sim::{out_dir, ConfigPatch, ExperimentGrid};
 use reunion_workloads::Workload;
@@ -42,41 +42,32 @@ struct PerfOpts {
 }
 
 fn parse_args() -> Result<PerfOpts, String> {
+    // The shared surface resolves everything but `--grid`; throughput does
+    // not need the paper's full sampling depth, so this binary defaults the
+    // profile to `fast` (a `--profile` flag or REUNION_PROFILE/REUNION_FAST
+    // environment setting still wins, as everywhere else).
+    let (run, leftovers) = RunOptions::resolve(std::env::args().skip(1), &|k| {
+        std::env::var(k)
+            .ok()
+            .or_else(|| (k == "REUNION_PROFILE").then(|| "fast".to_string()))
+    })?;
+    run.apply_env();
     let mut grid = GridChoice::Fig5;
-    let mut profile = Profile::Fast;
-    let mut engine = None;
-    let mut it = std::env::args().skip(1);
+    let mut it = leftovers.into_iter();
     while let Some(arg) = it.next() {
-        let mut take = |name: &str| -> Result<String, String> {
-            it.next().ok_or(format!("{name} requires a value"))
-        };
         if arg == "--grid" {
-            grid = parse_grid(&take("--grid")?)?;
+            let v = it.next().ok_or("--grid requires a value")?;
+            grid = parse_grid(&v)?;
         } else if let Some(v) = arg.strip_prefix("--grid=") {
             grid = parse_grid(v)?;
-        } else if arg == "--profile" {
-            profile = take("--profile")?.parse()?;
-        } else if let Some(v) = arg.strip_prefix("--profile=") {
-            profile = v.parse()?;
-        } else if arg == "--engine" {
-            engine = Some(take("--engine")?.parse()?);
-        } else if let Some(v) = arg.strip_prefix("--engine=") {
-            engine = Some(v.parse()?);
         } else {
             return Err(format!("unrecognized argument {arg:?}"));
         }
     }
-    let engine = match engine {
-        Some(e) => e,
-        None => match std::env::var("REUNION_ENGINE") {
-            Ok(v) => v.parse().map_err(|e| format!("REUNION_ENGINE: {e}"))?,
-            Err(_) => Engine::default(),
-        },
-    };
     Ok(PerfOpts {
         grid,
-        profile,
-        engine,
+        profile: run.profile,
+        engine: run.engine,
     })
 }
 
@@ -139,14 +130,12 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: perf [--grid fig5|counters] [--profile full|fast] [--engine dense|skip]"
+                "usage: perf [--grid fig5|counters] {}",
+                reunion_bench::RUN_OPTIONS_USAGE
             );
             std::process::exit(2);
         }
     };
-    // Same contract as parse_opts: export the engine choice so every
-    // SystemConfig constructed below picks it up.
-    std::env::set_var("REUNION_ENGINE", opts.engine.to_string());
     banner("perf", "host throughput (wall-clock) over a reference grid");
 
     let grid = build_grid(&opts);

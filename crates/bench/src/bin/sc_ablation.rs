@@ -3,7 +3,7 @@
 //! reports >60% average loss at a 40-cycle comparison latency.
 
 use reunion_bench::{
-    banner, commercial_workloads, keyed_latency_label, parse_opts, run_and_emit, SWEEP_LATENCIES,
+    banner, commercial_workloads, keyed_latency_label, run_and_emit, run_options, SWEEP_LATENCIES,
 };
 use reunion_core::ExecutionMode;
 use reunion_cpu::Consistency;
@@ -15,7 +15,7 @@ const MODELS: [(&str, &str, Consistency); 2] = [
 ];
 
 fn main() {
-    let opts = parse_opts();
+    let opts = run_options();
     banner(
         "SC ablation (§5.5)",
         "Reunion commercial average under TSO vs sequential consistency",
@@ -39,7 +39,7 @@ fn main() {
     .modes(&[ExecutionMode::Reunion])
     .patches(patches)
     .build();
-    let Some(report) = run_and_emit(&grid) else {
+    let Some(report) = run_and_emit(&grid).into_report() else {
         return;
     };
 

@@ -1,11 +1,11 @@
 //! Table 2: application parameters of the workload suite.
 
-use reunion_bench::{banner, parse_opts, run_and_emit, workloads};
+use reunion_bench::{banner, run_and_emit, run_options, workloads};
 use reunion_core::ExecutionMode;
 use reunion_sim::{ExperimentGrid, Metric};
 
 fn main() {
-    let opts = parse_opts();
+    let opts = run_options();
     banner("Table 2", "Application parameters (synthetic suite)");
     let grid = ExperimentGrid::builder("table2", "Application parameters (synthetic suite)")
         .metric(Metric::Static)
@@ -13,7 +13,7 @@ fn main() {
         .workloads(workloads())
         .modes(&[ExecutionMode::NonRedundant])
         .build();
-    let Some(report) = run_and_emit(&grid) else {
+    let Some(report) = run_and_emit(&grid).into_report() else {
         return;
     };
 

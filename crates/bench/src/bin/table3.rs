@@ -1,7 +1,7 @@
 //! Table 3: input-incoherence events per million instructions for each
 //! phantom-request strength, juxtaposed with TLB misses.
 
-use reunion_bench::{banner, parse_opts, run_and_emit, workloads};
+use reunion_bench::{banner, run_and_emit, run_options, workloads};
 use reunion_core::ExecutionMode;
 use reunion_mem::PhantomStrength;
 use reunion_sim::{ConfigPatch, ExperimentGrid, Metric};
@@ -24,7 +24,7 @@ const STRENGTHS: [PhantomStrength; 3] = [
 const EM3D_MEASURED_CYCLES: u64 = 32_000_000;
 
 fn main() {
-    let opts = parse_opts();
+    let opts = run_options();
     banner(
         "Table 3",
         "Input incoherence per 1M instructions by phantom strength; TLB misses",
@@ -48,7 +48,7 @@ fn main() {
             .collect(),
     )
     .build();
-    let Some(report) = run_and_emit(&grid) else {
+    let Some(report) = run_and_emit(&grid).into_report() else {
         return;
     };
 

@@ -7,37 +7,43 @@
 //! printed table and lands on disk as `BENCH_<id>.json`.
 //! Run e.g. `cargo run --release -p reunion-bench --bin fig5`.
 //!
-//! Command line (shared by all eight figure/table binaries):
+//! Command line and environment (shared by every binary through
+//! [`run_options`] / [`reunion_sim::RunOptions`]) — a flag always wins
+//! over its environment fallback:
 //!
-//! * `--profile full|fast` — sampling profile: the paper's full
-//!   methodology, or the shortened smoke/CI profile (see
-//!   [`Profile`]).
-//! * `--engine dense|skip` — timing engine: dense cycle stepping, or the
-//!   default event-driven time-skipping engine. `BENCH_<id>.json` output is
-//!   byte-identical between the two (gated by the engine-parity CI step).
-//!
-//! Environment knobs:
-//!
-//! * `REUNION_PROFILE=full|fast` — profile default when `--profile` is
-//!   absent; `REUNION_FAST=1` is the legacy spelling of `fast`,
-//! * `REUNION_ENGINE=dense|skip` — engine default when `--engine` is
-//!   absent (default: `skip`),
-//! * `REUNION_SHARD=i/N` — run only shard `i` of an `N`-way partition of
-//!   the grid, appending per-cell results to a resumable manifest instead
-//!   of writing `BENCH_<id>.json` (combine with `merge_shards`),
-//! * `REUNION_SERIAL=1` — single-threaded execution (determinism checks),
-//! * `REUNION_THREADS=<n>` — cap the worker threads,
-//! * `REUNION_OUT_DIR=<dir>` — where `BENCH_<id>.json` reports and
-//!   `MANIFEST_*.jsonl` shard manifests are written.
+//! * `--profile full|fast` / `REUNION_PROFILE` (legacy `REUNION_FAST=1`)
+//!   — sampling profile: the paper's full methodology, or the shortened
+//!   smoke/CI profile (see [`Profile`]).
+//! * `--engine dense|skip` / `REUNION_ENGINE` — timing engine: dense cycle
+//!   stepping, or the default event-driven time-skipping engine.
+//!   `BENCH_<id>.json` output is byte-identical between the two (gated by
+//!   the engine-parity CI step).
+//! * `--shard i/N` / `REUNION_SHARD=i/N` — run only shard `i` of an
+//!   `N`-way partition of the grid, appending per-cell results to a
+//!   resumable manifest instead of writing `BENCH_<id>.json` (combine
+//!   with `merge_shards`).
+//! * `--serial` / `REUNION_SERIAL=1` — single-threaded execution
+//!   (determinism checks).
+//! * `--threads <n>` / `REUNION_THREADS=<n>` — cap the worker threads.
+//! * `--obs` / `REUNION_OBS=1` and `--trace-cap <n>` /
+//!   `REUNION_TRACE_CAP=<n>` — opt into the observability layer (latency
+//!   histograms, stall/skip summaries and the bounded per-pair event
+//!   trace); off by default so the gated artifacts stay byte-stable.
+//! * `REUNION_OUT_DIR=<dir>` — where `BENCH_<id>.json` reports,
+//!   `MANIFEST_*.jsonl` shard manifests and `TRACE_*.jsonl` dumps are
+//!   written.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+use std::path::PathBuf;
+
 use reunion_core::{ClassSummary, SampleConfig};
-use reunion_sim::{env_flag, out_dir, ExperimentGrid, ExperimentReport, Runner, ShardSpec};
+use reunion_sim::{out_dir, ExperimentGrid, ExperimentReport, ShardRunOutcome};
 use reunion_workloads::{suite, Workload, WorkloadClass};
 
 pub use reunion_core::{Engine, Profile};
+pub use reunion_sim::{RunOptions, RUN_OPTIONS_USAGE};
 
 /// The comparison latencies of the paper's sensitivity sweeps — the shared
 /// x-axis of Figure 6, Figure 7(b) and the SC ablation.
@@ -54,7 +60,47 @@ pub fn keyed_latency_label(key: &str, latency: u64) -> String {
     format!("{key}:lat={latency}")
 }
 
+/// Resolves the shared run options from the real command line and
+/// environment, rejecting any argument the shared surface does not know.
+///
+/// The single entry point of the figure/table binaries: resolve via
+/// [`RunOptions::parse_cli`] (flags win over `REUNION_*` fallbacks),
+/// treat leftovers as usage errors (a typo must never silently run the
+/// expensive default configuration), and export the winning choices back
+/// into the environment so every [`reunion_core::SystemConfig`] and
+/// [`reunion_sim::Runner`] constructed anywhere in the process — on any
+/// worker thread — picks them up. Binaries with extra flags of their own
+/// (`perf`, `dispatch`, the merge/compare tools) call
+/// [`run_options_with_extras`] instead and consume the leftovers.
+pub fn run_options() -> RunOptions {
+    let (opts, leftovers) = run_options_with_extras();
+    if let Some(extra) = leftovers.first() {
+        usage_error(&format!("unrecognized argument {extra:?}"));
+    }
+    opts
+}
+
+/// Like [`run_options`], but hands back the arguments the shared surface
+/// did not recognize (in their original order) for the caller to parse.
+pub fn run_options_with_extras() -> (RunOptions, Vec<String>) {
+    match RunOptions::parse_cli() {
+        Ok((opts, leftovers)) => {
+            opts.apply_env();
+            (opts, leftovers)
+        }
+        Err(e) => usage_error(&e),
+    }
+}
+
+/// Prints `message` plus the shared usage line and exits with status 2.
+pub fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: <binary> {RUN_OPTIONS_USAGE}");
+    std::process::exit(2);
+}
+
 /// Options shared by every experiment binary, parsed by [`parse_opts`].
+#[deprecated(note = "use run_options() and reunion_sim::RunOptions")]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BenchOpts {
     /// The sampling profile the run measures under.
@@ -65,6 +111,7 @@ pub struct BenchOpts {
     pub engine: Engine,
 }
 
+#[allow(deprecated)]
 impl BenchOpts {
     /// The sampling parameters the selected profile maps to.
     pub fn sample(&self) -> SampleConfig {
@@ -74,64 +121,18 @@ impl BenchOpts {
 
 /// Parses the shared experiment command line from `std::env::args`.
 ///
-/// Precedence for the profile: `--profile full|fast` (also
-/// `--profile=<p>`), then `REUNION_PROFILE`, then the legacy
-/// `REUNION_FAST=1` spelling of `fast`, then the paper's full profile.
-/// For the engine: `--engine dense|skip` (also `--engine=<e>`), then
-/// `REUNION_ENGINE`, then the default skip engine; the winning choice is
-/// exported back into `REUNION_ENGINE` so every [`reunion_core::SystemConfig`]
-/// the run constructs — on any worker thread — picks it up.
-/// Unrecognized arguments print usage and exit with status 2, so a typo
-/// can never silently run the (expensive) default configuration.
+/// Superseded by [`run_options`], which resolves the full shared surface
+/// (serial/threads/shard/observability as well as profile and engine) and
+/// exports every winning choice; this shim delegates there and narrows the
+/// result for callers still on the two-field [`BenchOpts`].
+#[deprecated(note = "use run_options() and reunion_sim::RunOptions")]
+#[allow(deprecated)]
 pub fn parse_opts() -> BenchOpts {
-    match try_parse_opts(std::env::args().skip(1)) {
-        Ok(opts) => {
-            std::env::set_var("REUNION_ENGINE", opts.engine.to_string());
-            opts
-        }
-        Err(e) => {
-            eprintln!("{e}");
-            eprintln!("usage: <binary> [--profile full|fast] [--engine dense|skip]");
-            std::process::exit(2);
-        }
+    let opts = run_options();
+    BenchOpts {
+        profile: opts.profile,
+        engine: opts.engine,
     }
-}
-
-fn try_parse_opts(args: impl Iterator<Item = String>) -> Result<BenchOpts, String> {
-    let mut profile = None;
-    let mut engine = None;
-    let mut it = args;
-    while let Some(arg) = it.next() {
-        if arg == "--profile" {
-            let value = it.next().ok_or("--profile requires a value (full|fast)")?;
-            profile = Some(value.parse()?);
-        } else if let Some(value) = arg.strip_prefix("--profile=") {
-            profile = Some(value.parse()?);
-        } else if arg == "--engine" {
-            let value = it.next().ok_or("--engine requires a value (dense|skip)")?;
-            engine = Some(value.parse()?);
-        } else if let Some(value) = arg.strip_prefix("--engine=") {
-            engine = Some(value.parse()?);
-        } else {
-            return Err(format!("unrecognized argument {arg:?}"));
-        }
-    }
-    let profile = match profile {
-        Some(p) => p,
-        None => match std::env::var("REUNION_PROFILE") {
-            Ok(v) => v.parse().map_err(|e| format!("REUNION_PROFILE: {e}"))?,
-            Err(_) if env_flag("REUNION_FAST") => Profile::Fast,
-            Err(_) => Profile::Full,
-        },
-    };
-    let engine = match engine {
-        Some(e) => e,
-        None => match std::env::var("REUNION_ENGINE") {
-            Ok(v) => v.parse().map_err(|e| format!("REUNION_ENGINE: {e}"))?,
-            Err(_) => Engine::default(),
-        },
-    };
-    Ok(BenchOpts { profile, engine })
 }
 
 /// Prints a figure/table banner.
@@ -155,33 +156,81 @@ pub fn commercial_workloads() -> Vec<Workload> {
         .collect()
 }
 
+/// What [`run_and_emit`] did, stated explicitly instead of `Option`'s
+/// ambiguous `None`: either a complete in-process run with its report (and
+/// the artifact path, when writing it succeeded), or one shard of a
+/// campaign whose report does not exist until `merge_shards` combines the
+/// manifests.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// The whole grid ran in-process; `BENCH_<id>.json` was written to
+    /// `path` (`None` if the write failed — already warned about, and the
+    /// in-memory report is still complete).
+    Emitted {
+        /// Where the artifact landed, if the write succeeded.
+        path: Option<PathBuf>,
+        /// The complete report, for table printing.
+        report: ExperimentReport,
+    },
+    /// Only one shard ran; its cells streamed to a resumable manifest.
+    Sharded(ShardRunOutcome),
+}
+
+impl RunOutcome {
+    /// The complete report, if this run produced one.
+    pub fn report(&self) -> Option<&ExperimentReport> {
+        match self {
+            RunOutcome::Emitted { report, .. } => Some(report),
+            RunOutcome::Sharded(_) => None,
+        }
+    }
+
+    /// Consumes the outcome into the complete report, if any — the pattern
+    /// the table-printing binaries use:
+    /// `let Some(report) = run_and_emit(&grid).into_report() else { return }`.
+    pub fn into_report(self) -> Option<ExperimentReport> {
+        match self {
+            RunOutcome::Emitted { report, .. } => Some(report),
+            RunOutcome::Sharded(_) => None,
+        }
+    }
+}
+
 /// Executes the grid and persists its artifact.
 ///
 /// This is the single entry point every experiment binary funnels through:
 /// no binary runs simulations in a hand-rolled loop.
 ///
 /// Without `REUNION_SHARD`, the whole grid runs on an
-/// environment-configured [`Runner`], `BENCH_<id>.json` lands in
-/// [`out_dir`], and the report is returned for table printing.
+/// environment-configured [`reunion_sim::Runner`], `BENCH_<id>.json` lands
+/// in [`out_dir`], and [`RunOutcome::Emitted`] carries the report for
+/// table printing.
 ///
 /// With `REUNION_SHARD=i/N`, only shard `i`'s cells run; each finished
 /// cell streams to the shard's resumable manifest under [`out_dir`] and
-/// `None` is returned — there is no complete report to print until every
-/// shard has run and `merge_shards` has combined the manifests (the merged
-/// `BENCH_<id>.json` is byte-identical to a single-process run's).
-pub fn run_and_emit(grid: &ExperimentGrid) -> Option<ExperimentReport> {
-    let runner = Runner::from_env();
-    let shard = ShardSpec::from_env().unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    });
-    let Some(shard) = shard else {
+/// [`RunOutcome::Sharded`] is returned — there is no complete report to
+/// print until every shard has run and `merge_shards` has combined the
+/// manifests (the merged `BENCH_<id>.json` is byte-identical to a
+/// single-process run's).
+pub fn run_and_emit(grid: &ExperimentGrid) -> RunOutcome {
+    let opts = match RunOptions::resolve(std::iter::empty(), &|k| std::env::var(k).ok()) {
+        Ok((opts, _)) => opts,
+        Err(e) => usage_error(&e),
+    };
+    let runner = opts.runner();
+    let Some(shard) = opts.shard else {
         let report = runner.run(grid);
-        match report.write_json_default() {
-            Ok(path) => println!("[report: {}]", path.display()),
-            Err(e) => eprintln!("warning: could not write BENCH_{}.json: {e}", report.id),
-        }
-        return Some(report);
+        let path = match report.write_json_default() {
+            Ok(path) => {
+                println!("[report: {}]", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("warning: could not write BENCH_{}.json: {e}", report.id);
+                None
+            }
+        };
+        return RunOutcome::Emitted { path, report };
     };
     let dir = out_dir();
     match runner.run_shard(grid, shard, &dir) {
@@ -199,7 +248,7 @@ pub fn run_and_emit(grid: &ExperimentGrid) -> Option<ExperimentReport> {
                 shard.count(),
                 dir.display(),
             );
-            None
+            RunOutcome::Sharded(outcome)
         }
         Err(e) => {
             eprintln!("shard {shard} of {} failed: {e}", grid.id());
@@ -241,37 +290,42 @@ pub fn commercial_scientific_averages(rows: &[(WorkloadClass, f64)]) -> (f64, f6
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Result<BenchOpts, String> {
-        try_parse_opts(args.iter().map(|s| s.to_string()))
+    fn resolve(args: &[&str]) -> Result<(RunOptions, Vec<String>), String> {
+        RunOptions::resolve(args.iter().map(|s| s.to_string()), &|_| None)
+    }
+
+    // Flag parsing and env precedence are covered in depth by
+    // `reunion_sim::RunOptions`'s own tests; these two pin the behaviours
+    // the binaries' usage contract leans on.
+    #[test]
+    fn shared_flags_resolve_and_default() {
+        let (o, leftovers) = resolve(&["--profile", "fast", "--engine=dense"]).unwrap();
+        assert!(leftovers.is_empty());
+        assert_eq!(o.profile, Profile::Fast);
+        assert_eq!(o.engine, Engine::Dense);
+        let (o, _) = resolve(&[]).unwrap();
+        assert_eq!(o.engine, Engine::Skip, "skip is the default engine");
+        assert_eq!(o.profile, Profile::Full);
+        assert!(!o.observability.enabled, "observability is opt-in");
     }
 
     #[test]
-    fn profile_flag_both_spellings() {
-        assert_eq!(
-            parse(&["--profile", "fast"]).unwrap().profile,
-            Profile::Fast
-        );
-        assert_eq!(parse(&["--profile=full"]).unwrap().profile, Profile::Full);
+    fn unknown_arguments_are_left_over_and_bad_values_rejected() {
+        let (_, leftovers) = resolve(&["--wat", "--profile", "fast"]).unwrap();
+        assert_eq!(leftovers, vec!["--wat"]);
+        assert!(resolve(&["--profile"]).is_err());
+        assert!(resolve(&["--profile", "slow"]).is_err());
+        assert!(resolve(&["--engine", "sparse"]).is_err());
     }
 
     #[test]
-    fn unknown_arguments_are_rejected() {
-        assert!(parse(&["--wat"]).is_err());
-        assert!(parse(&["--profile"]).is_err());
-        assert!(parse(&["--profile", "slow"]).is_err());
-        assert!(parse(&["--engine"]).is_err());
-        assert!(parse(&["--engine", "sparse"]).is_err());
-    }
-
-    #[test]
-    fn engine_flag_both_spellings_and_default() {
-        assert_eq!(parse(&["--engine", "dense"]).unwrap().engine, Engine::Dense);
-        assert_eq!(parse(&["--engine=skip"]).unwrap().engine, Engine::Skip);
-        assert_eq!(
-            parse(&["--profile", "fast"]).unwrap().engine,
-            Engine::Skip,
-            "skip is the default engine"
-        );
+    #[allow(deprecated)]
+    fn bench_opts_shim_still_samples() {
+        let opts = BenchOpts {
+            profile: Profile::Fast,
+            engine: Engine::Skip,
+        };
+        assert_eq!(opts.sample(), SampleConfig::fast());
     }
 
     #[test]

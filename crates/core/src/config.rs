@@ -2,6 +2,7 @@
 
 use reunion_cpu::{Consistency, TlbMode};
 use reunion_mem::{MemConfig, PhantomStrength};
+use reunion_obs::ObsConfig;
 
 /// Which redundant execution model the CMP runs (§5.1).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -146,6 +147,10 @@ pub struct SystemConfig {
     /// Timing engine (dense cycle stepping or event-driven time skipping).
     /// Constructors read `REUNION_ENGINE`; outputs are engine-invariant.
     pub engine: Engine,
+    /// Opt-in observability (latency histograms + bounded event traces).
+    /// Constructors read `REUNION_OBS`/`REUNION_TRACE_CAP`; off by default
+    /// so every deterministic output stays byte-stable.
+    pub obs: ObsConfig,
 }
 
 impl SystemConfig {
@@ -164,6 +169,7 @@ impl SystemConfig {
             fingerprint_interval: 1,
             seed: 0x5EED_0001,
             engine: Engine::from_env(),
+            obs: ObsConfig::from_env(),
         }
     }
 
@@ -181,6 +187,7 @@ impl SystemConfig {
             fingerprint_interval: 1,
             seed: 0x5EED_0002,
             engine: Engine::from_env(),
+            obs: ObsConfig::from_env(),
         }
     }
 

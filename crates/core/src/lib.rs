@@ -50,3 +50,11 @@ pub use metrics::{ClassSummary, Measurement, NormalizedResult};
 pub use pair::{PairDriver, PairStats, RecoveryPhase};
 pub use sampling::{measure, normalized_ipc, Profile, SampleConfig};
 pub use system::{CmpSystem, SystemStats};
+
+// The observability vocabulary travels with the execution model so
+// downstream crates (sim, bench, dispatch) need no direct `reunion-obs`
+// dependency.
+pub use reunion_obs::{
+    EpisodeSummary, EventTrace, LatencyHistogram, ObsConfig, ObsReport, TraceEvent, TraceKind,
+    DEFAULT_TRACE_CAP, HISTOGRAM_BUCKETS,
+};

@@ -1,6 +1,7 @@
 //! Result types for the evaluation harness.
 
 use reunion_kernel::stats::RunningStats;
+use reunion_obs::{ObsReport, TraceEvent};
 
 use crate::SystemStats;
 
@@ -19,9 +20,19 @@ pub struct Measurement {
     pub windows: usize,
     /// Cycles the timing engine fast-forwarded without ticking (warm-up
     /// included). An engine diagnostic, deliberately kept out of every
-    /// `BENCH_<id>.json` field so reports stay byte-identical across
-    /// engines; surfaced by the deterministic bench counters instead.
+    /// default `BENCH_<id>.json` field so reports stay byte-identical
+    /// across engines; surfaced by the deterministic bench counters, and —
+    /// since the observability layer landed — by the opt-in
+    /// `observability` schema block.
     pub skipped_cycles: u64,
+    /// Merged observability summary over all measurement windows; `Some`
+    /// only when the configuration enabled observability (`REUNION_OBS=1`).
+    /// `check_latency`, `stall_episodes` and `incoherence_gaps` are
+    /// engine-invariant; `skip_runs`/`skipped_cycles` describe the engine.
+    pub obs: Option<ObsReport>,
+    /// Retained check-protocol trace events (bounded per pair), drained at
+    /// the end of the measurement. Empty unless observability is enabled.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl Measurement {
@@ -120,6 +131,8 @@ mod tests {
             },
             windows: 1,
             skipped_cycles: 0,
+            obs: None,
+            trace: Vec::new(),
         };
         assert!((m.incoherence_per_million() - 3.0).abs() < 1e-9);
         assert!((m.tlb_misses_per_million() - 1500.0).abs() < 1e-9);

@@ -6,6 +6,7 @@ use reunion_cpu::{CheckEvent, Core, ReleaseGrant};
 use reunion_kernel::stats::Counter;
 use reunion_kernel::{Cycle, EventHorizon};
 use reunion_mem::MemorySystem;
+use reunion_obs::{EventTrace, LatencyHistogram, TraceEvent, TraceKind};
 
 /// Which phase of the re-execution protocol a recovering pair is in
 /// (Figure 4).
@@ -40,6 +41,12 @@ pub struct PairStats {
     pub sync_requests: Counter,
     /// Fingerprint intervals successfully compared.
     pub intervals_compared: Counter,
+    /// Check round-trip latencies (vocal interval reaching the check stage
+    /// to its release grant), recorded only when observability is enabled.
+    pub check_latency: LatencyHistogram,
+    /// Inter-arrival gaps between input-incoherence events, recorded only
+    /// when observability is enabled.
+    pub incoherence_gaps: LatencyHistogram,
 }
 
 impl PairStats {
@@ -52,6 +59,8 @@ impl PairStats {
             failures: Counter::new("failures"),
             sync_requests: Counter::new("sync_requests"),
             intervals_compared: Counter::new("intervals_compared"),
+            check_latency: LatencyHistogram::new(),
+            incoherence_gaps: LatencyHistogram::new(),
         }
     }
 
@@ -64,6 +73,8 @@ impl PairStats {
         self.failures.reset();
         self.sync_requests.reset();
         self.intervals_compared.reset();
+        self.check_latency = LatencyHistogram::new();
+        self.incoherence_gaps = LatencyHistogram::new();
     }
 }
 
@@ -97,6 +108,17 @@ pub struct PairDriver {
     /// Cycles after which a stuck recovery escalates (defensive bound; the
     /// protocol itself guarantees forward progress, Lemma 2).
     recovery_timeout: u64,
+    /// Gate for all per-tick observability recording; kept as one bool so
+    /// the hot path pays a single predictable branch when off.
+    obs_enabled: bool,
+    /// Logical-processor index stamped into trace events.
+    lp: u32,
+    /// Cycle of the previous input-incoherence event (never reset across
+    /// windows: inter-arrival gaps span window boundaries).
+    last_incoherence: Option<u64>,
+    /// Bounded check-protocol event trace, present only under
+    /// observability (boxed: it never burdens the default-off layout).
+    trace: Option<Box<EventTrace>>,
 }
 
 impl PairDriver {
@@ -120,6 +142,40 @@ impl PairDriver {
             recovery_started: 0,
             stats: PairStats::new(),
             recovery_timeout: 100_000,
+            obs_enabled: false,
+            lp: 0,
+            last_incoherence: None,
+            trace: None,
+        }
+    }
+
+    /// Turns on observability recording for this pair: check-latency and
+    /// incoherence-gap histograms plus a bounded event trace of `trace_cap`
+    /// events, stamped with logical-processor index `lp`.
+    pub fn enable_observability(&mut self, lp: u32, trace_cap: usize) {
+        self.obs_enabled = true;
+        self.lp = lp;
+        self.trace = Some(Box::new(EventTrace::with_capacity(trace_cap)));
+    }
+
+    /// The pair's event trace, if observability is enabled.
+    pub fn trace(&self) -> Option<&EventTrace> {
+        self.trace.as_deref()
+    }
+
+    /// Mutable access to the event trace (draining for a per-cell dump).
+    pub fn trace_mut(&mut self) -> Option<&mut EventTrace> {
+        self.trace.as_deref_mut()
+    }
+
+    fn trace_event(&mut self, cycle: u64, kind: TraceKind, interval_id: u64) {
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.push(TraceEvent {
+                cycle,
+                lp: self.lp,
+                kind,
+                interval_id,
+            });
         }
     }
 
@@ -255,9 +311,29 @@ impl PairDriver {
     /// Escalation bookkeeping shared by deferred-mismatch recovery.
     fn begin_mismatch_recovery(&mut self, now: Cycle, mem: &mut MemorySystem) {
         self.stats.mismatches.incr();
+        if self.obs_enabled {
+            let interval = self
+                .vocal_events
+                .front()
+                .map(|e| e.fingerprint.interval_id)
+                .unwrap_or(0);
+            self.trace_event(now.as_u64(), TraceKind::Mismatch, interval);
+        }
         match self.phase {
             RecoveryPhase::Normal => {
                 self.stats.input_incoherence.incr();
+                if self.obs_enabled {
+                    // Inter-arrival gap to the previous incoherence event.
+                    // `last_incoherence` survives window resets: a gap
+                    // straddling a boundary is credited to the window in
+                    // which the later event lands.
+                    if let Some(prev) = self.last_incoherence {
+                        self.stats
+                            .incoherence_gaps
+                            .record(now.as_u64().saturating_sub(prev));
+                    }
+                    self.last_incoherence = Some(now.as_u64());
+                }
                 self.start_recovery(now, mem, RecoveryPhase::Phase1)
             }
             RecoveryPhase::Phase1 => {
@@ -313,6 +389,16 @@ impl PairDriver {
                     at: release_m,
                 });
                 self.stats.intervals_compared.incr();
+                if self.obs_enabled {
+                    // Round trip as the vocal core experiences it: interval
+                    // ready at the check stage -> release grant back.
+                    self.stats
+                        .check_latency
+                        .record(release_v.saturating_since(v.ready_at));
+                    let issued_at = v.ready_at.as_u64();
+                    self.trace_event(issued_at, TraceKind::Issue, interval_id);
+                    self.trace_event(release_v.as_u64(), TraceKind::Grant, interval_id);
+                }
                 self.vocal_events.pop_front();
                 self.mute_events.pop_front();
 
@@ -337,6 +423,9 @@ impl PairDriver {
 
     fn start_recovery(&mut self, now: Cycle, mem: &mut MemorySystem, phase: RecoveryPhase) {
         self.stats.recoveries.incr();
+        if self.obs_enabled {
+            self.trace_event(now.as_u64(), TraceKind::Recovery, 0);
+        }
         // Both cores first apply every already-compared interval so their
         // rollback lands on identical safe states (the common case of the
         // protocol; Figure 4).
@@ -412,6 +501,9 @@ impl PairDriver {
     /// pair back into a consistent state so the run can continue.
     fn declare_failure(&mut self, now: Cycle, mem: &mut MemorySystem) {
         self.stats.failures.incr();
+        if self.obs_enabled {
+            self.trace_event(now.as_u64(), TraceKind::Failure, 0);
+        }
         self.vocal.drain_granted(now, mem);
         self.mute.drain_granted(now, mem);
         self.vocal.rollback(now);

@@ -11,6 +11,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use reunion_kernel::stats::RunningStats;
+use reunion_obs::{ObsReport, TraceEvent};
 use reunion_workloads::Workload;
 
 use crate::{CmpSystem, ExecutionMode, Measurement, NormalizedResult, SystemConfig, SystemStats};
@@ -151,13 +152,18 @@ pub fn measure(cfg: &SystemConfig, workload: &Workload, sample: &SampleConfig) -
 
     let mut ipc = RunningStats::new();
     let mut totals = SystemStats::default();
+    let mut obs = ObsReport::new();
     for _ in 0..sample.windows {
         sys.begin_window();
         sys.run(sample.window);
         let w = sys.window_stats();
         ipc.push(w.ipc());
         accumulate(&mut totals, &w);
+        if cfg.obs.enabled {
+            obs.merge(&sys.window_obs());
+        }
     }
+    let (obs, trace) = finish_obs(&mut sys, cfg.obs.enabled, obs);
 
     Measurement {
         workload: workload.name(),
@@ -166,7 +172,27 @@ pub fn measure(cfg: &SystemConfig, workload: &Workload, sample: &SampleConfig) -
         totals,
         windows: sample.windows,
         skipped_cycles: sys.skipped_cycles(),
+        obs,
+        trace,
     }
+}
+
+/// Completes a measurement's observability state: fills the cumulative
+/// fields (`skipped_cycles`, trace counters) the per-window merges can't
+/// see, and drains the pairs' bounded traces. `(None, [])` when disabled.
+fn finish_obs(
+    sys: &mut CmpSystem,
+    enabled: bool,
+    mut obs: ObsReport,
+) -> (Option<ObsReport>, Vec<TraceEvent>) {
+    if !enabled {
+        return (None, Vec::new());
+    }
+    obs.skipped_cycles = sys.skipped_cycles();
+    let (pushed, evicted, trace) = sys.take_trace();
+    obs.trace_events = pushed;
+    obs.trace_evicted = evicted;
+    (Some(obs), trace)
 }
 
 /// Measures a model configuration and the matching non-redundant baseline
@@ -190,6 +216,8 @@ pub fn normalized_ipc(
     let mut base_ipc = RunningStats::new();
     let mut model_totals = SystemStats::default();
     let mut base_totals = SystemStats::default();
+    let mut model_obs = ObsReport::new();
+    let mut base_obs = ObsReport::new();
 
     for _ in 0..sample.windows {
         model_sys.begin_window();
@@ -205,7 +233,13 @@ pub fn normalized_ipc(
         base_ipc.push(bw.ipc());
         accumulate(&mut model_totals, &mw);
         accumulate(&mut base_totals, &bw);
+        if model_cfg.obs.enabled {
+            model_obs.merge(&model_sys.window_obs());
+            base_obs.merge(&base_sys.window_obs());
+        }
     }
+    let (model_obs, model_trace) = finish_obs(&mut model_sys, model_cfg.obs.enabled, model_obs);
+    let (base_obs, base_trace) = finish_obs(&mut base_sys, base_cfg.obs.enabled, base_obs);
 
     NormalizedResult {
         workload: workload.name(),
@@ -218,6 +252,8 @@ pub fn normalized_ipc(
             totals: model_totals,
             windows: sample.windows,
             skipped_cycles: model_sys.skipped_cycles(),
+            obs: model_obs,
+            trace: model_trace,
         },
         baseline: Measurement {
             workload: workload.name(),
@@ -226,6 +262,8 @@ pub fn normalized_ipc(
             totals: base_totals,
             windows: sample.windows,
             skipped_cycles: base_sys.skipped_cycles(),
+            obs: base_obs,
+            trace: base_trace,
         },
     }
 }

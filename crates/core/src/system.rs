@@ -5,6 +5,7 @@ use std::sync::Arc;
 use reunion_cpu::{Core, CoreConfig};
 use reunion_kernel::{Cycle, EventHorizon};
 use reunion_mem::{MemorySystem, Owner};
+use reunion_obs::{EpisodeSummary, ObsReport, TraceEvent};
 use reunion_workloads::Workload;
 
 use crate::{Engine, ExecutionMode, PairDriver, SystemConfig};
@@ -106,6 +107,12 @@ pub struct CmpSystem {
     user_at_window_start: u64,
     engine: Engine,
     skipped: u64,
+    /// Gate for skip-run episode recording (mirrors `SystemConfig::obs`).
+    obs_enabled: bool,
+    /// Lengths of cycle runs the engine fast-forwarded over this window.
+    /// Engine-dependent by design: the dense engine only skips quiescent
+    /// tails, the skip engine also jumps stall windows.
+    skip_runs: EpisodeSummary,
 }
 
 impl CmpSystem {
@@ -176,6 +183,14 @@ impl CmpSystem {
             }
         }
 
+        if cfg.obs.enabled {
+            for (lp, proc) in procs.iter_mut().enumerate() {
+                if let Proc::Pair(pair) = proc {
+                    pair.enable_observability(lp as u32, cfg.obs.trace_cap);
+                }
+            }
+        }
+
         CmpSystem {
             mem,
             procs,
@@ -184,6 +199,8 @@ impl CmpSystem {
             user_at_window_start: 0,
             engine: cfg.engine,
             skipped: 0,
+            obs_enabled: cfg.obs.enabled,
+            skip_runs: EpisodeSummary::new(),
         }
     }
 
@@ -294,11 +311,20 @@ impl CmpSystem {
         let end = self.now + cycles;
         while self.now < end {
             if self.all_quiescent() {
-                self.skipped += end - self.now;
+                self.note_skip(end.saturating_since(self.now));
                 self.now = end;
                 break;
             }
             self.tick();
+        }
+    }
+
+    /// Accounts a fast-forward of `run` cycles (quiescent tail or skip-engine
+    /// jump): always bumps the total, records an episode under observability.
+    fn note_skip(&mut self, run: u64) {
+        self.skipped += run;
+        if self.obs_enabled {
+            self.skip_runs.record(run);
         }
     }
 
@@ -317,7 +343,7 @@ impl CmpSystem {
         let end = self.now + cycles;
         while self.now < end {
             if self.all_quiescent() {
-                self.skipped += end - self.now;
+                self.note_skip(end.saturating_since(self.now));
                 self.now = end;
                 break;
             }
@@ -332,7 +358,7 @@ impl CmpSystem {
                 _ => end,
             };
             if target > self.now {
-                self.skipped += target - self.now;
+                self.note_skip(target.saturating_since(self.now));
                 self.now = target;
             }
         }
@@ -379,6 +405,59 @@ impl CmpSystem {
             }
         }
         self.mem.stats_mut().reset();
+        self.skip_runs = EpisodeSummary::new();
+    }
+
+    /// Collects the observability summary for the current window: the
+    /// per-pair histograms (window-relative, reset by
+    /// [`begin_window`](Self::begin_window)), every core's stall-episode
+    /// summary, and this window's skip runs.
+    ///
+    /// `skipped_cycles` and the trace counters are *not* filled here — they
+    /// are cumulative over the whole measurement and are assigned once by
+    /// the sampling layer. Returns an empty report when observability is
+    /// disabled.
+    pub fn window_obs(&self) -> ObsReport {
+        let mut obs = ObsReport::new();
+        if !self.obs_enabled {
+            return obs;
+        }
+        for proc in &self.procs {
+            match proc {
+                Proc::Single(core) => {
+                    obs.stall_episodes.merge(&core.stats().stall_episodes);
+                }
+                Proc::Pair(pair) => {
+                    obs.check_latency.merge(&pair.stats().check_latency);
+                    obs.incoherence_gaps.merge(&pair.stats().incoherence_gaps);
+                    for core in [pair.vocal(), pair.mute()] {
+                        obs.stall_episodes.merge(&core.stats().stall_episodes);
+                    }
+                }
+            }
+        }
+        obs.skip_runs.merge(&self.skip_runs);
+        obs
+    }
+
+    /// Drains every pair's bounded event trace, in logical-processor order,
+    /// returning `(pushed, evicted, events)` totals. Events stay grouped by
+    /// pair (each stamped with its `lp`), oldest-first within a pair.
+    /// Empty when observability is disabled.
+    pub fn take_trace(&mut self) -> (u64, u64, Vec<TraceEvent>) {
+        let mut pushed = 0;
+        let mut evicted = 0;
+        let mut events = Vec::new();
+        for proc in &mut self.procs {
+            if let Proc::Pair(pair) = proc {
+                if let Some(trace) = pair.trace_mut() {
+                    pushed += trace.pushed();
+                    evicted += trace.evicted();
+                    events.extend(trace.take_events());
+                }
+            }
+        }
+        (pushed, evicted, events)
     }
 
     /// Collects statistics for the current window.
@@ -532,6 +611,8 @@ mod tests {
             user_at_window_start: 0,
             engine,
             skipped: 0,
+            obs_enabled: false,
+            skip_runs: EpisodeSummary::new(),
         }
     }
 

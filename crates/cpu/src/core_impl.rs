@@ -108,6 +108,13 @@ pub struct Core {
 
     error_at: Option<(u64, u32)>,
 
+    /// Length of the serializing-stall episode currently in progress
+    /// (consecutive retire-stall cycles at one serializing interval). Lives
+    /// outside `CoreStats` so a window reset never truncates an open
+    /// episode; the run is credited to `stats.stall_episodes` in the window
+    /// where it ends.
+    stall_run: u64,
+
     stats: CoreStats,
 }
 
@@ -156,6 +163,7 @@ impl Core {
             itlb_served: None,
             predictor: Gshare::new(12),
             error_at: None,
+            stall_run: 0,
             stats: CoreStats::new(),
         }
     }
@@ -418,6 +426,10 @@ impl Core {
             if entry.serializing {
                 self.stats.serializing.incr();
                 self.serializing_block = false;
+                if self.stall_run > 0 {
+                    self.stats.stall_episodes.record(self.stall_run);
+                    self.stall_run = 0;
+                }
             }
         }
     }
@@ -442,6 +454,9 @@ impl Core {
         self.pending_sync = None;
         self.sync_pending_seq = None;
         self.serializing_block = false;
+        // A rollback abandons the stalled interval; the partial episode is
+        // dropped rather than recorded as if it completed.
+        self.stall_run = 0;
         self.itlb_served = None;
         self.user_fetch_index = self.user_retire_index;
         self.reg_ready = [0; 32];
@@ -572,6 +587,7 @@ impl Core {
                 if release_at > now_raw {
                     if head.serializing && granted_at <= now_raw {
                         self.stats.serializing_stall_cycles.incr();
+                        self.stall_run += 1;
                     }
                     break;
                 }
@@ -612,6 +628,10 @@ impl Core {
             if entry.serializing {
                 self.stats.serializing.incr();
                 self.serializing_block = false;
+                if self.stall_run > 0 {
+                    self.stats.stall_episodes.record(self.stall_run);
+                    self.stall_run = 0;
+                }
             }
             retired += 1;
         }

@@ -1,6 +1,7 @@
 //! Per-core statistics.
 
 use reunion_kernel::stats::Counter;
+use reunion_obs::EpisodeSummary;
 
 /// Event counters maintained by one core.
 #[derive(Clone, Debug)]
@@ -44,6 +45,12 @@ pub struct CoreStats {
     /// Store-buffer pushes that landed past the inline small-buffer
     /// capacity and hit the heap.
     pub store_chain_spills: Counter,
+    /// Lengths of completed serializing-stall episodes (runs of consecutive
+    /// retire-stage stall cycles at one serializing interval). The cycle
+    /// total matches `serializing_stall_cycles` for episodes that complete
+    /// inside the window; an episode spanning a window boundary is credited
+    /// to the window in which it ends.
+    pub stall_episodes: EpisodeSummary,
 }
 
 impl CoreStats {
@@ -66,6 +73,7 @@ impl CoreStats {
             peak_check_events: 0,
             peak_store_chain: 0,
             store_chain_spills: Counter::new("store_chain_spills"),
+            stall_episodes: EpisodeSummary::new(),
         }
     }
 
@@ -87,6 +95,7 @@ impl CoreStats {
         self.peak_check_events = 0;
         self.peak_store_chain = 0;
         self.store_chain_spills.reset();
+        self.stall_episodes = EpisodeSummary::new();
     }
 
     /// Combined TLB misses (Table 3's "TLB Misses" column).

@@ -337,6 +337,19 @@ impl Dispatcher {
                                 "[dispatch] {task} on {host_name}: {}/{} cell(s)",
                                 p.completed, p.owned
                             );
+                            // Present only when the campaign runs with the
+                            // observability layer enabled; a separate line
+                            // so the progress line above stays grep-stable.
+                            if let Some(obs) = &p.obs {
+                                println!(
+                                    "[dispatch] {task} obs: {} check(s) (mean rtt {:.1}), \
+                                     {} stall episode(s), {} incoherence gap(s)",
+                                    obs.check_latency.count(),
+                                    obs.check_latency.mean().unwrap_or(0.0),
+                                    obs.stall_episodes.episodes(),
+                                    obs.incoherence_gaps.count(),
+                                );
+                            }
                         }
                         complete = p.is_complete();
                     }

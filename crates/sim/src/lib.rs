@@ -16,6 +16,11 @@
 //!   work-stealing [`CellQueue`] so heterogeneous cells don't straggle.
 //!   `REUNION_SERIAL=1` forces the single-threaded fallback and
 //!   `REUNION_THREADS=<n>` caps the workers.
+//! * [`RunOptions`] — one typed resolution of the run surface every
+//!   experiment driver shares (profile, engine, serial/threads, shard,
+//!   observability): command-line flags with `REUNION_*` environment
+//!   fallbacks, flags winning, unrecognized arguments handed back to the
+//!   caller.
 //! * [`ShardSpec`] / [`ShardManifest`] / [`merge_manifests`] — sharded,
 //!   resumable execution: `REUNION_SHARD=i/N` (or the programmatic
 //!   [`ShardSpec`] API) selects a deterministic round-robin slice of the
@@ -92,6 +97,7 @@ mod grid;
 mod json;
 mod manifest;
 mod merge;
+mod options;
 mod patch;
 mod report;
 mod runner;
@@ -105,6 +111,7 @@ pub use manifest::{
     ShardProgress,
 };
 pub use merge::{find_manifests, merge_manifests, MergeError};
+pub use options::{RunOptions, RUN_OPTIONS_USAGE};
 pub use patch::ConfigPatch;
 pub use report::{
     out_dir, ExperimentReport, MeasureSummary, NormalizedSummary, Outcome, RunRecord, StaticSummary,

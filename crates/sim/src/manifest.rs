@@ -20,12 +20,12 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
-use reunion_core::SampleConfig;
+use reunion_core::{ObsConfig, ObsReport, SampleConfig};
 
 use crate::json::{parse_json, JsonValue, JsonWriter};
 use crate::report::{
     sample_from_json, sample_override_from_json, str_field, u64_field, write_sample_json,
-    write_sample_override_json, RunRecord,
+    write_sample_override_json, Outcome, RunRecord,
 };
 use crate::shard::ShardSpec;
 
@@ -48,6 +48,11 @@ pub struct ManifestHeader {
     pub sample: SampleConfig,
     /// Per-workload sampling overrides, in grid declaration order.
     pub sample_overrides: Vec<(String, SampleConfig)>,
+    /// Observability configuration the shard ran under. Part of the merge
+    /// contract: records carrying `observability` blocks must not merge
+    /// with records that lack them. Serialized only when enabled, so
+    /// pre-observability manifests parse (and re-serialize) unchanged.
+    pub obs: ObsConfig,
 }
 
 impl ManifestHeader {
@@ -60,6 +65,10 @@ impl ManifestHeader {
             && self.cells == other.cells
             && self.sample == other.sample
             && self.sample_overrides == other.sample_overrides
+            && self.obs.enabled == other.obs.enabled
+            // The trace cap is meaningless while disabled (and is not
+            // serialized then), so it only contracts when enabled.
+            && (!self.obs.enabled || self.obs.trace_cap == other.obs.trace_cap)
     }
 
     fn to_line(&self) -> String {
@@ -80,6 +89,10 @@ impl ManifestHeader {
             write_sample_override_json(&mut w, workload, sample);
         }
         w.end_array();
+        if self.obs.enabled {
+            w.field_u64("obs", 1);
+            w.field_u64("trace_cap", self.obs.trace_cap as u64);
+        }
         w.end_object();
         w.finish()
     }
@@ -104,6 +117,19 @@ impl ManifestHeader {
             u64_field(&v, "of").map_err(prefix)? as usize,
         )
         .map_err(prefix)?;
+        // Observability fields are written only when enabled; their absence
+        // (every pre-observability manifest) reads back as the default-off
+        // configuration.
+        let obs = ObsConfig {
+            enabled: match v.get("obs") {
+                Some(_) => u64_field(&v, "obs").map_err(prefix)? == 1,
+                None => false,
+            },
+            trace_cap: match v.get("trace_cap") {
+                Some(_) => u64_field(&v, "trace_cap").map_err(prefix)? as usize,
+                None => ObsConfig::default().trace_cap,
+            },
+        };
         Ok(ManifestHeader {
             id: str_field(&v, "id").map_err(prefix)?.to_string(),
             caption: str_field(&v, "caption").map_err(prefix)?.to_string(),
@@ -111,6 +137,7 @@ impl ManifestHeader {
             cells: u64_field(&v, "cells").map_err(prefix)? as usize,
             sample: sample_from_json(v.get("sample").ok_or("manifest header: missing sample")?)?,
             sample_overrides,
+            obs,
         })
     }
 }
@@ -277,6 +304,11 @@ pub struct ShardProgress {
     pub owned: usize,
     /// Validly recorded (completed) cells so far.
     pub completed: usize,
+    /// Merged observability summary over every completed cell's recorded
+    /// `observability` blocks (model, baseline and raw measurements alike).
+    /// `Some` exactly when the shard ran with observability enabled — the
+    /// dispatcher streams it while the shard is still running.
+    pub obs: Option<ObsReport>,
 }
 
 impl ShardProgress {
@@ -302,11 +334,33 @@ impl ShardProgress {
 pub fn manifest_progress_from_text(text: &str) -> Result<ShardProgress, String> {
     let (header, records) = parse_manifest_text(text)?;
     let owned = header.shard.cell_indices(header.cells).len();
+    let obs = header.obs.enabled.then(|| {
+        let mut merged = ObsReport::new();
+        for record in records.values() {
+            for block in record_obs(record) {
+                merged.merge(block);
+            }
+        }
+        merged
+    });
     Ok(ShardProgress {
         owned,
         completed: records.len(),
         header,
+        obs,
     })
+}
+
+/// Every `observability` block a record carries (model and baseline for a
+/// normalized cell, the single measurement for a raw cell, none for a
+/// static cell).
+fn record_obs(record: &RunRecord) -> impl Iterator<Item = &ObsReport> {
+    let (a, b) = match &record.outcome {
+        Outcome::Normalized(n) => (Some(&n.model), Some(&n.baseline)),
+        Outcome::Raw(m) => (Some(m.as_ref()), None),
+        Outcome::Static(_) => (None, None),
+    };
+    a.into_iter().chain(b).filter_map(|m| m.obs.as_ref())
 }
 
 /// Progress of the shard whose manifest lives at `path` (the local-file
@@ -340,6 +394,7 @@ mod tests {
                     windows: 3,
                 },
             )],
+            obs: ObsConfig::default(),
         }
     }
 

@@ -1,0 +1,418 @@
+//! Unified run-options resolution for experiment drivers.
+//!
+//! Every experiment binary historically grew its own partial mix of flags
+//! and `REUNION_*` environment reads; [`RunOptions`] replaces that with one
+//! typed resolution of the shared run surface:
+//!
+//! | option        | flag                      | environment fallback        |
+//! |---------------|---------------------------|-----------------------------|
+//! | profile       | `--profile full\|fast`    | `REUNION_PROFILE` (legacy `REUNION_FAST=1`) |
+//! | engine        | `--engine dense\|skip`    | `REUNION_ENGINE`            |
+//! | serial        | `--serial`                | `REUNION_SERIAL=1`          |
+//! | threads       | `--threads <n>`           | `REUNION_THREADS`           |
+//! | shard         | `--shard i/N`             | `REUNION_SHARD`             |
+//! | observability | `--obs`                   | `REUNION_OBS=1`             |
+//! | trace cap     | `--trace-cap <n>`         | `REUNION_TRACE_CAP`         |
+//!
+//! A flag always wins over its environment fallback. Resolution is
+//! *hermetic* — [`RunOptions::resolve`] takes the argument list and an
+//! environment lookup function, so precedence is unit-testable without
+//! touching process state. Arguments the resolver does not recognize are
+//! returned to the caller untouched (binaries with extra flags, positional
+//! manifest paths, …); callers that accept no extra arguments treat a
+//! non-empty leftover list as a usage error.
+//!
+//! After resolving, a driver calls [`RunOptions::apply_env`] once to export
+//! the winning choices back into the process environment, because the
+//! lower layers deliberately read their knobs from the environment at
+//! construction time (so worker threads and
+//! [`SystemConfig`](reunion_core::SystemConfig) values built anywhere in
+//! the process agree with the command line).
+
+use reunion_core::{Engine, ObsConfig, Profile, SampleConfig};
+
+use crate::runner::Runner;
+use crate::shard::ShardSpec;
+
+/// The resolved run surface shared by every experiment binary.
+///
+/// Construct via [`RunOptions::parse_cli`] (real argv + environment) or
+/// [`RunOptions::resolve`] (hermetic, for tests and embedders).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Sampling profile (`--profile`, `REUNION_PROFILE`, `REUNION_FAST=1`).
+    pub profile: Profile,
+    /// Timing engine (`--engine`, `REUNION_ENGINE`). `BENCH_<id>.json`
+    /// output is byte-identical between the two engines.
+    pub engine: Engine,
+    /// Force single-threaded execution (`--serial`, `REUNION_SERIAL=1`).
+    pub serial: bool,
+    /// Worker-thread cap (`--threads`, `REUNION_THREADS`); `None` means
+    /// all cores. Ignored when `serial` is set.
+    pub threads: Option<usize>,
+    /// Shard slice to execute (`--shard i/N`, `REUNION_SHARD=i/N`);
+    /// `None` runs the whole grid in-process.
+    pub shard: Option<ShardSpec>,
+    /// Opt-in observability layer (`--obs` / `REUNION_OBS=1` plus
+    /// `--trace-cap` / `REUNION_TRACE_CAP`). Off by default so the
+    /// `BENCH_<id>.json` artifacts stay byte-stable.
+    pub observability: ObsConfig,
+}
+
+/// One-line usage summary of the shared flags, for drivers' usage errors.
+pub const RUN_OPTIONS_USAGE: &str = "[--profile full|fast] [--engine dense|skip] [--serial] \
+     [--threads <n>] [--shard i/N] [--obs] [--trace-cap <n>]";
+
+impl RunOptions {
+    /// Resolves the shared options from an argument list and an environment
+    /// lookup, returning the options plus every argument the resolver did
+    /// not recognize, in their original order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when a flag is missing its value or any
+    /// flag/environment value fails to parse. A malformed environment value
+    /// is an error even though it is merely a fallback — silently ignoring
+    /// it would run the (expensive) default configuration.
+    pub fn resolve(
+        args: impl IntoIterator<Item = String>,
+        env: &dyn Fn(&str) -> Option<String>,
+    ) -> Result<(Self, Vec<String>), String> {
+        let mut profile: Option<Profile> = None;
+        let mut engine: Option<Engine> = None;
+        let mut serial = false;
+        let mut threads: Option<usize> = None;
+        let mut shard: Option<ShardSpec> = None;
+        let mut obs = false;
+        let mut trace_cap: Option<usize> = None;
+        let mut leftovers = Vec::new();
+
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut take = |flag: &str, hint: &str| -> Option<Result<String, String>> {
+                if arg == flag {
+                    Some(
+                        it.next()
+                            .ok_or_else(|| format!("{flag} requires a value ({hint})")),
+                    )
+                } else {
+                    arg.strip_prefix(flag)
+                        .and_then(|rest| rest.strip_prefix('='))
+                        .map(|v| Ok(v.to_string()))
+                }
+            };
+            if let Some(v) = take("--profile", "full|fast") {
+                profile = Some(v?.parse()?);
+            } else if let Some(v) = take("--engine", "dense|skip") {
+                engine = Some(v?.parse()?);
+            } else if let Some(v) = take("--threads", "a worker count") {
+                threads = Some(parse_count("--threads", &v?)?);
+            } else if let Some(v) = take("--shard", "i/N") {
+                shard = Some(v?.parse::<ShardSpec>()?);
+            } else if let Some(v) = take("--trace-cap", "events per pair") {
+                trace_cap = Some(parse_usize("--trace-cap", &v?)?);
+            } else if arg == "--serial" {
+                serial = true;
+            } else if arg == "--obs" {
+                obs = true;
+            } else {
+                leftovers.push(arg);
+            }
+        }
+
+        let profile = match profile {
+            Some(p) => p,
+            None => match env("REUNION_PROFILE") {
+                Some(v) => v.parse().map_err(|e| format!("REUNION_PROFILE: {e}"))?,
+                None if env_is_one(env, "REUNION_FAST") => Profile::Fast,
+                None => Profile::Full,
+            },
+        };
+        let engine = match engine {
+            Some(e) => e,
+            None => match env("REUNION_ENGINE") {
+                Some(v) => v.parse().map_err(|e| format!("REUNION_ENGINE: {e}"))?,
+                None => Engine::default(),
+            },
+        };
+        let serial = serial || env_is_one(env, "REUNION_SERIAL");
+        let threads = match threads {
+            Some(t) => Some(t),
+            None => match env("REUNION_THREADS") {
+                Some(v) => Some(parse_count("REUNION_THREADS", &v)?),
+                None => None,
+            },
+        };
+        let shard = match shard {
+            Some(s) => Some(s),
+            None => match env("REUNION_SHARD") {
+                Some(v) => Some(
+                    v.parse::<ShardSpec>()
+                        .map_err(|e| format!("REUNION_SHARD: {e}"))?,
+                ),
+                None => None,
+            },
+        };
+        let obs = obs || env_is_one(env, "REUNION_OBS");
+        let trace_cap = match trace_cap {
+            Some(c) => c,
+            None => match env("REUNION_TRACE_CAP") {
+                Some(v) => parse_usize("REUNION_TRACE_CAP", &v)?,
+                None => ObsConfig::default().trace_cap,
+            },
+        };
+
+        Ok((
+            RunOptions {
+                profile,
+                engine,
+                serial,
+                threads,
+                shard,
+                observability: ObsConfig {
+                    enabled: obs,
+                    trace_cap,
+                },
+            },
+            leftovers,
+        ))
+    }
+
+    /// Resolves from the real command line (`std::env::args`, skipping the
+    /// binary name) and process environment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunOptions::resolve`] errors; the caller decides how to
+    /// report them (the bench harness prints usage and exits 2).
+    pub fn parse_cli() -> Result<(Self, Vec<String>), String> {
+        Self::resolve(std::env::args().skip(1), &|k| std::env::var(k).ok())
+    }
+
+    /// Exports every winning choice back into the process environment, so
+    /// the layers that read their knobs from `REUNION_*` at construction
+    /// time — [`SystemConfig`](reunion_core::SystemConfig) builders on any
+    /// worker thread, [`Runner::from_env`], [`ShardSpec::from_env`] —
+    /// observe exactly what this resolution decided.
+    pub fn apply_env(&self) {
+        std::env::set_var("REUNION_PROFILE", self.profile.to_string());
+        std::env::set_var("REUNION_ENGINE", self.engine.to_string());
+        std::env::set_var("REUNION_SERIAL", if self.serial { "1" } else { "0" });
+        match self.threads {
+            Some(t) => std::env::set_var("REUNION_THREADS", t.to_string()),
+            None => std::env::remove_var("REUNION_THREADS"),
+        }
+        match self.shard {
+            Some(s) => std::env::set_var("REUNION_SHARD", s.to_string()),
+            None => std::env::remove_var("REUNION_SHARD"),
+        }
+        std::env::set_var(
+            "REUNION_OBS",
+            if self.observability.enabled { "1" } else { "0" },
+        );
+        std::env::set_var(
+            "REUNION_TRACE_CAP",
+            self.observability.trace_cap.to_string(),
+        );
+    }
+
+    /// The sampling parameters the selected profile maps to.
+    pub fn sample(&self) -> SampleConfig {
+        self.profile.sample()
+    }
+
+    /// A [`Runner`] honouring the resolved `serial`/`threads` choice.
+    pub fn runner(&self) -> Runner {
+        if self.serial {
+            Runner::serial()
+        } else {
+            match self.threads {
+                Some(t) => Runner::with_threads(t.max(1)),
+                None => Runner::from_env(),
+            }
+        }
+    }
+}
+
+impl Default for RunOptions {
+    /// The paper's defaults: full profile, skip engine, parallel in-process
+    /// execution, observability off.
+    fn default() -> Self {
+        RunOptions {
+            profile: Profile::default(),
+            engine: Engine::default(),
+            serial: false,
+            threads: None,
+            shard: None,
+            observability: ObsConfig::default(),
+        }
+    }
+}
+
+fn env_is_one(env: &dyn Fn(&str) -> Option<String>, name: &str) -> bool {
+    env(name).is_some_and(|v| v == "1")
+}
+
+fn parse_usize(what: &str, v: &str) -> Result<usize, String> {
+    v.parse::<usize>()
+        .map_err(|_| format!("{what}: expected a non-negative integer, got {v:?}"))
+}
+
+fn parse_count(what: &str, v: &str) -> Result<usize, String> {
+    match parse_usize(what, v)? {
+        0 => Err(format!("{what}: must be at least 1")),
+        n => Ok(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn resolve(args: &[&str], env: &[(&str, &str)]) -> Result<(RunOptions, Vec<String>), String> {
+        let map: HashMap<String, String> = env
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        RunOptions::resolve(args.iter().map(|s| s.to_string()), &move |k| {
+            map.get(k).cloned()
+        })
+    }
+
+    fn opts(args: &[&str], env: &[(&str, &str)]) -> RunOptions {
+        let (o, leftovers) = resolve(args, env).unwrap();
+        assert!(leftovers.is_empty(), "unexpected leftovers {leftovers:?}");
+        o
+    }
+
+    #[test]
+    fn defaults_when_nothing_is_set() {
+        let o = opts(&[], &[]);
+        assert_eq!(o, RunOptions::default());
+        assert_eq!(o.profile, Profile::Full);
+        assert_eq!(o.engine, Engine::Skip);
+        assert!(!o.observability.enabled);
+    }
+
+    #[test]
+    fn flags_parse_both_spellings() {
+        let o = opts(
+            &[
+                "--profile",
+                "fast",
+                "--engine=dense",
+                "--serial",
+                "--threads=3",
+                "--shard",
+                "2/4",
+                "--obs",
+                "--trace-cap=16",
+            ],
+            &[],
+        );
+        assert_eq!(o.profile, Profile::Fast);
+        assert_eq!(o.engine, Engine::Dense);
+        assert!(o.serial);
+        assert_eq!(o.threads, Some(3));
+        assert_eq!(o.shard, Some(ShardSpec::new(2, 4)));
+        assert!(o.observability.enabled);
+        assert_eq!(o.observability.trace_cap, 16);
+    }
+
+    #[test]
+    fn env_fallback_fills_unset_options() {
+        let o = opts(
+            &[],
+            &[
+                ("REUNION_PROFILE", "fast"),
+                ("REUNION_ENGINE", "dense"),
+                ("REUNION_SERIAL", "1"),
+                ("REUNION_THREADS", "2"),
+                ("REUNION_SHARD", "1/2"),
+                ("REUNION_OBS", "1"),
+                ("REUNION_TRACE_CAP", "8"),
+            ],
+        );
+        assert_eq!(o.profile, Profile::Fast);
+        assert_eq!(o.engine, Engine::Dense);
+        assert!(o.serial);
+        assert_eq!(o.threads, Some(2));
+        assert_eq!(o.shard, Some(ShardSpec::new(1, 2)));
+        assert!(o.observability.enabled);
+        assert_eq!(o.observability.trace_cap, 8);
+    }
+
+    #[test]
+    fn flag_wins_over_environment() {
+        let o = opts(
+            &["--profile", "full", "--engine", "skip", "--trace-cap", "32"],
+            &[
+                ("REUNION_PROFILE", "fast"),
+                ("REUNION_ENGINE", "dense"),
+                ("REUNION_TRACE_CAP", "8"),
+            ],
+        );
+        assert_eq!(o.profile, Profile::Full);
+        assert_eq!(o.engine, Engine::Skip);
+        assert_eq!(o.observability.trace_cap, 32);
+    }
+
+    #[test]
+    fn legacy_fast_spelling_applies_only_without_profile() {
+        assert_eq!(opts(&[], &[("REUNION_FAST", "1")]).profile, Profile::Fast);
+        assert_eq!(
+            opts(&[], &[("REUNION_FAST", "1"), ("REUNION_PROFILE", "full")]).profile,
+            Profile::Full,
+            "REUNION_PROFILE outranks the legacy spelling"
+        );
+        assert_eq!(opts(&[], &[("REUNION_FAST", "0")]).profile, Profile::Full);
+    }
+
+    #[test]
+    fn unrecognized_arguments_pass_through_in_order() {
+        let (o, leftovers) =
+            resolve(&["alpha", "--profile", "fast", "--beta=7", "gamma"], &[]).unwrap();
+        assert_eq!(o.profile, Profile::Fast);
+        assert_eq!(leftovers, vec!["alpha", "--beta=7", "gamma"]);
+    }
+
+    #[test]
+    fn malformed_values_are_errors() {
+        assert!(resolve(&["--profile"], &[]).is_err());
+        assert!(resolve(&["--profile", "slow"], &[]).is_err());
+        assert!(resolve(&["--engine=sparse"], &[]).is_err());
+        assert!(resolve(&["--threads", "0"], &[]).is_err());
+        assert!(resolve(&["--threads", "many"], &[]).is_err());
+        assert!(resolve(&["--shard", "3"], &[]).is_err());
+        assert!(resolve(&["--trace-cap", "-1"], &[]).is_err());
+        assert!(resolve(&[], &[("REUNION_ENGINE", "warp")]).is_err());
+        assert!(resolve(&[], &[("REUNION_THREADS", "0")]).is_err());
+        assert!(resolve(&[], &[("REUNION_SHARD", "0/0")]).is_err());
+        assert!(resolve(&[], &[("REUNION_TRACE_CAP", "lots")]).is_err());
+    }
+
+    #[test]
+    fn serial_env_respects_canonical_convention() {
+        assert!(opts(&[], &[("REUNION_SERIAL", "1")]).serial);
+        assert!(!opts(&[], &[("REUNION_SERIAL", "true")]).serial);
+        assert!(!opts(&[], &[("REUNION_SERIAL", "0")]).serial);
+    }
+
+    #[test]
+    fn runner_honours_serial_and_threads() {
+        assert!(opts(&["--serial"], &[]).runner().is_serial());
+        assert!(!opts(&["--threads", "4"], &[]).runner().is_serial());
+        let both = opts(&["--serial", "--threads", "4"], &[]);
+        assert!(both.runner().is_serial(), "serial outranks a thread cap");
+    }
+
+    #[test]
+    fn sample_follows_profile() {
+        assert_eq!(opts(&[], &[]).sample(), SampleConfig::full());
+        assert_eq!(
+            opts(&["--profile", "fast"], &[]).sample(),
+            SampleConfig::fast()
+        );
+    }
+}

@@ -3,7 +3,10 @@
 use std::io;
 use std::path::PathBuf;
 
-use reunion_core::{ExecutionMode, Measurement, NormalizedResult, SampleConfig};
+use reunion_core::{
+    EpisodeSummary, ExecutionMode, LatencyHistogram, Measurement, NormalizedResult, ObsReport,
+    SampleConfig, HISTOGRAM_BUCKETS,
+};
 use reunion_workloads::{Workload, WorkloadClass};
 
 use crate::json::{JsonValue, JsonWriter};
@@ -44,6 +47,11 @@ pub struct MeasureSummary {
     pub incoherence_per_million: f64,
     /// TLB misses per million user instructions (Table 3).
     pub tlb_misses_per_million: f64,
+    /// Opt-in observability block (histograms, episode summaries, trace
+    /// counters). `None` unless the run enabled observability; absent from
+    /// the serialized form when `None`, keeping default artifacts
+    /// byte-identical to the pre-observability schema.
+    pub obs: Option<ObsReport>,
 }
 
 impl From<&Measurement> for MeasureSummary {
@@ -65,6 +73,7 @@ impl From<&Measurement> for MeasureSummary {
             reexec_penalty_cycles: m.totals.reexec_penalty_cycles,
             incoherence_per_million: m.incoherence_per_million(),
             tlb_misses_per_million: m.tlb_misses_per_million(),
+            obs: m.obs.clone(),
         }
     }
 }
@@ -88,6 +97,10 @@ impl MeasureSummary {
         w.field_u64("reexec_penalty_cycles", self.reexec_penalty_cycles);
         w.field_f64("incoherence_per_million", self.incoherence_per_million);
         w.field_f64("tlb_misses_per_million", self.tlb_misses_per_million);
+        if let Some(obs) = &self.obs {
+            w.key("observability");
+            write_obs_json(w, obs);
+        }
         w.end_object();
     }
 
@@ -109,8 +122,92 @@ impl MeasureSummary {
             reexec_penalty_cycles: u64_field(v, "reexec_penalty_cycles")?,
             incoherence_per_million: f64_field(v, "incoherence_per_million")?,
             tlb_misses_per_million: f64_field(v, "tlb_misses_per_million")?,
+            obs: match v.get("observability") {
+                Some(o) => Some(obs_from_json(o)?),
+                None => None,
+            },
         })
     }
+}
+
+/// Writes a [`LatencyHistogram`] as `{count, sum, min, max, buckets}`.
+/// `min` serializes as 0 for an empty histogram (the reader restores the
+/// empty sentinel from `count == 0`).
+fn write_histogram_json(w: &mut JsonWriter, h: &LatencyHistogram) {
+    w.begin_object();
+    w.field_u64("count", h.count());
+    w.field_u64("sum", h.sum());
+    w.field_u64("min", h.min().unwrap_or(0));
+    w.field_u64("max", h.max().unwrap_or(0));
+    w.key("buckets");
+    w.begin_array();
+    for &b in h.buckets().iter() {
+        w.u64(b);
+    }
+    w.end_array();
+    w.end_object();
+}
+
+fn histogram_from_json(v: &JsonValue) -> Result<LatencyHistogram, String> {
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    match v.get("buckets") {
+        Some(JsonValue::Array(items)) if items.len() == HISTOGRAM_BUCKETS => {
+            for (slot, item) in buckets.iter_mut().zip(items.iter()) {
+                let n = item
+                    .as_f64()
+                    .ok_or_else(|| format!("bucket entry is not a number: {item:?}"))?;
+                *slot = n as u64;
+            }
+        }
+        Some(JsonValue::Array(items)) => {
+            return Err(format!(
+                "histogram has {} buckets, expected {HISTOGRAM_BUCKETS}",
+                items.len()
+            ))
+        }
+        _ => return Err("missing histogram field \"buckets\"".to_string()),
+    }
+    Ok(LatencyHistogram::from_raw(
+        u64_field(v, "count")?,
+        u64_field(v, "sum")?,
+        u64_field(v, "min")?,
+        u64_field(v, "max")?,
+        buckets,
+    ))
+}
+
+/// Writes the opt-in `observability` block of a measurement summary.
+pub(crate) fn write_obs_json(w: &mut JsonWriter, obs: &ObsReport) {
+    w.begin_object();
+    w.field_u64("skipped_cycles", obs.skipped_cycles);
+    w.key("check_latency");
+    write_histogram_json(w, &obs.check_latency);
+    w.key("stall_episodes");
+    write_histogram_json(w, obs.stall_episodes.lengths());
+    w.key("skip_runs");
+    write_histogram_json(w, obs.skip_runs.lengths());
+    w.key("incoherence_gaps");
+    write_histogram_json(w, &obs.incoherence_gaps);
+    w.field_u64("trace_events", obs.trace_events);
+    w.field_u64("trace_evicted", obs.trace_evicted);
+    w.end_object();
+}
+
+/// Parses the `observability` block back into an [`ObsReport`]; the inverse
+/// of [`write_obs_json`], exact for every value the writer emits.
+pub(crate) fn obs_from_json(v: &JsonValue) -> Result<ObsReport, String> {
+    let histogram = |key: &str| -> Result<LatencyHistogram, String> {
+        histogram_from_json(v.get(key).ok_or_else(|| format!("missing field {key:?}"))?)
+    };
+    Ok(ObsReport {
+        check_latency: histogram("check_latency")?,
+        stall_episodes: EpisodeSummary::from_lengths(histogram("stall_episodes")?),
+        skip_runs: EpisodeSummary::from_lengths(histogram("skip_runs")?),
+        incoherence_gaps: histogram("incoherence_gaps")?,
+        skipped_cycles: u64_field(v, "skipped_cycles")?,
+        trace_events: u64_field(v, "trace_events")?,
+        trace_evicted: u64_field(v, "trace_evicted")?,
+    })
 }
 
 /// A float leaf; `null` reads back as NaN, mirroring the writer's encoding
@@ -241,10 +338,11 @@ impl StaticSummary {
 /// What one grid cell produced, by [`crate::Metric`] kind.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Outcome {
-    /// Matched-pair normalized measurement.
-    Normalized(NormalizedSummary),
-    /// Single-system raw measurement.
-    Raw(MeasureSummary),
+    /// Matched-pair normalized measurement (boxed: the two embedded
+    /// [`MeasureSummary`] values dwarf the other variants).
+    Normalized(Box<NormalizedSummary>),
+    /// Single-system raw measurement (boxed for the same reason).
+    Raw(Box<MeasureSummary>),
     /// Static workload parameters.
     Static(StaticSummary),
 }
@@ -268,7 +366,7 @@ impl RunRecord {
     /// The matched-pair summary, if this cell measured one.
     pub fn normalized(&self) -> Option<&NormalizedSummary> {
         match &self.outcome {
-            Outcome::Normalized(n) => Some(n),
+            Outcome::Normalized(n) => Some(n.as_ref()),
             _ => None,
         }
     }
@@ -281,7 +379,7 @@ impl RunRecord {
     /// The raw measurement, if this cell measured one.
     pub fn raw(&self) -> Option<&MeasureSummary> {
         match &self.outcome {
-            Outcome::Raw(m) => Some(m),
+            Outcome::Raw(m) => Some(m.as_ref()),
             _ => None,
         }
     }
@@ -333,16 +431,16 @@ impl RunRecord {
     /// the sharded/merged byte-identity guarantee rests on).
     pub(crate) fn from_json(v: &JsonValue) -> Result<Self, String> {
         let outcome = if v.get("normalized_ipc").is_some() {
-            Outcome::Normalized(NormalizedSummary {
+            Outcome::Normalized(Box::new(NormalizedSummary {
                 normalized_ipc: f64_field(v, "normalized_ipc")?,
                 ci95: f64_field(v, "ci95")?,
                 model: MeasureSummary::from_json(v.get("model").ok_or("missing field \"model\"")?)?,
                 baseline: MeasureSummary::from_json(
                     v.get("baseline").ok_or("missing field \"baseline\"")?,
                 )?,
-            })
+            }))
         } else if let Some(m) = v.get("measurement") {
-            Outcome::Raw(MeasureSummary::from_json(m)?)
+            Outcome::Raw(Box::new(MeasureSummary::from_json(m)?))
         } else {
             Outcome::Static(StaticSummary {
                 private_bytes: u64_field(v, "private_bytes")?,
@@ -494,12 +592,12 @@ mod tests {
             },
             mode,
             patch: patch.into(),
-            outcome: Outcome::Normalized(NormalizedSummary {
+            outcome: Outcome::Normalized(Box::new(NormalizedSummary {
                 normalized_ipc: ipc,
                 ci95: 0.0,
                 model: blank_measure(ipc),
                 baseline: blank_measure(1.0),
-            }),
+            })),
         }
     }
 
@@ -521,6 +619,7 @@ mod tests {
             reexec_penalty_cycles: 0,
             incoherence_per_million: 0.0,
             tlb_misses_per_million: 0.0,
+            obs: None,
         }
     }
 

@@ -4,12 +4,13 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use reunion_core::{measure, normalized_ipc};
+use reunion_core::{measure, normalized_ipc, ObsConfig, TraceEvent};
 
 use crate::grid::{Cell, ExperimentGrid, Metric};
+use crate::json::JsonWriter;
 use crate::manifest::{ManifestHeader, ShardManifest};
 use crate::report::{
-    ExperimentReport, MeasureSummary, NormalizedSummary, Outcome, RunRecord, StaticSummary,
+    out_dir, ExperimentReport, MeasureSummary, NormalizedSummary, Outcome, RunRecord, StaticSummary,
 };
 use crate::scheduler::CellQueue;
 use crate::shard::ShardSpec;
@@ -150,6 +151,7 @@ impl Runner {
             cells: grid.cells().len(),
             sample: *grid.sample(),
             sample_overrides: grid.sample_overrides().to_vec(),
+            obs: ObsConfig::from_env(),
         };
         let manifest = ShardManifest::create_or_resume(dir, header)?;
         let owned = shard.cell_indices(grid.cells().len());
@@ -278,12 +280,14 @@ fn run_cell(grid: &ExperimentGrid, cell: &Cell) -> RunRecord {
         Metric::Normalized => {
             let cfg = grid.cell_config(cell);
             let n = normalized_ipc(&cfg, &cell.workload, sample);
-            Outcome::Normalized(NormalizedSummary::from(&n))
+            dump_trace(grid.id(), cell.index, &n.model.trace);
+            Outcome::Normalized(Box::new(NormalizedSummary::from(&n)))
         }
         Metric::Raw => {
             let cfg = grid.cell_config(cell);
             let m = measure(&cfg, &cell.workload, sample);
-            Outcome::Raw(MeasureSummary::from(&m))
+            dump_trace(grid.id(), cell.index, &m.trace);
+            Outcome::Raw(Box::new(MeasureSummary::from(&m)))
         }
         Metric::Static => Outcome::Static(StaticSummary::of(&cell.workload)),
     };
@@ -293,6 +297,37 @@ fn run_cell(grid: &ExperimentGrid, cell: &Cell) -> RunRecord {
         mode: cell.mode,
         patch: cell.patch.label().to_string(),
         outcome,
+    }
+}
+
+/// Writes a cell's retained check-protocol trace to
+/// `TRACE_<grid>_<cell>.jsonl` in [`out_dir`], one compact JSON object per
+/// event. Dumping is part of the env-driven artifact contract
+/// (`REUNION_OBS`, like `REUNION_OUT_DIR`): a library caller who enables
+/// observability programmatically gets in-memory collection and the report
+/// block without files appearing in the working directory. No file is
+/// written when the trace is empty; a dump failure is a warning, never a
+/// run failure, because the trace is a diagnostic side channel and must not
+/// perturb the deterministic report pipeline.
+fn dump_trace(grid_id: &str, cell_index: usize, trace: &[TraceEvent]) {
+    if trace.is_empty() || !ObsConfig::from_env().enabled {
+        return;
+    }
+    let mut text = String::new();
+    for e in trace {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        w.field_u64("cycle", e.cycle);
+        w.field_u64("lp", u64::from(e.lp));
+        w.field_str("kind", e.kind.as_str());
+        w.field_u64("interval_id", e.interval_id);
+        w.end_object();
+        text.push_str(&w.finish());
+        text.push('\n');
+    }
+    let path = out_dir().join(format!("TRACE_{grid_id}_{cell_index}.jsonl"));
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("warning: could not write trace {}: {e}", path.display());
     }
 }
 

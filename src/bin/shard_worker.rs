@@ -22,6 +22,7 @@ use std::process::exit;
 use std::time::Duration;
 
 use reunion::testkit::dispatch_grid;
+use reunion_core::ObsConfig;
 use reunion_sim::{env_flag, measure_cell, out_dir, ManifestHeader, ShardManifest, ShardSpec};
 
 fn env_count(name: &str) -> Option<usize> {
@@ -55,6 +56,7 @@ fn main() {
         cells: grid.cells().len(),
         sample: *grid.sample(),
         sample_overrides: grid.sample_overrides().to_vec(),
+        obs: ObsConfig::from_env(),
     };
     let dir = out_dir();
     let mut manifest = match ShardManifest::create_or_resume(&dir, header) {
