@@ -1,0 +1,47 @@
+; Bitwise CRC over a 16-word buffer — the checksum/decode loop.
+;
+; Classic reflected shift-and-conditionally-xor rounds: the branch in the
+; inner loop depends on the low bit of the running remainder, i.e. on
+; loaded data, which is exactly the data-dependent control flow synthetic
+; workloads can only approximate. Each full pass folds the digest back
+; into the buffer, so every pass decodes different data.
+.program crc32
+
+.data 0x40000000
+.word 0x0123456789abcdef, 0x5a5a5a5a5a5a5a5a, 0xfeedfacecafebeef, 0x1111111122222222
+.word 0x0f0f0f0ff0f0f0f0, 0x7fffffffffffffff, 0x8000000000000001, 0x00000000deadbeef
+.word 0x13579bdf2468ace0, 0xaaaaaaaa55555555, 0x0000ffff0000ffff, 0x123456789abcdef0
+.word 0x6996699669966996, 0x0102030405060708, 0xffffffffffffffff, 0x00000000000000ff
+
+    li   r1, 0x40000000      ; buffer base
+    li   r2, 16              ; words
+    li   r3, -1              ; crc = ~0
+
+outer:
+    addi r4, r1, 0           ; ptr
+    li   r5, 0               ; idx
+word_loop:
+    ld   r6, (r4)
+    xor  r3, r3, r6
+    li   r7, 8               ; rounds per word
+bit_loop:
+    shli r8, r3, 63          ; low bit into the sign position
+    shri r9, r3, 1
+    bltz r8, fold_poly
+    addi r3, r9, 0
+    j    bit_next
+fold_poly:
+    li   r10, 0xc96c5795d7870f42
+    xor  r3, r9, r10
+bit_next:
+    subi r7, r7, 1
+    bnez r7, bit_loop
+    addi r4, r4, 8
+    addi r5, r5, 1
+    sub  r11, r5, r2
+    bltz r11, word_loop
+    ; fold the digest back in so the next pass sees new data
+    ld   r6, (r1)
+    xor  r6, r6, r3
+    st   (r1), r6
+    j    outer

@@ -1,0 +1,79 @@
+; Symmetric two-thread producer/consumer ring with flag publication.
+;
+; Each thread writes a 4-word payload into its own buffer, publishes its
+; sequence number to a flag word, then spins until the peer's flag
+; catches up and reads the peer's buffer *without* holding any lock. The
+; peer may already be producing the next payload into that buffer — a
+; genuine data race on the payload words, plus the flag-spin itself is a
+; remote-write/local-spin incoherence window. Both threads publish
+; before waiting, so the ring never deadlocks.
+.program flag_ring
+
+.data 0x03000000
+.word 0                      ; flag[0]
+.data 0x03000040
+.word 0                      ; flag[1] (separate cache line)
+
+.thread 0
+    li   r1, 0x03000000      ; my flag
+    li   r2, 0x03000040      ; peer flag
+    li   r3, 0x10000000      ; my buffer
+    li   r4, 0x10000100      ; peer buffer
+    li   r5, 1               ; seq
+loop:
+    muli r6, r5, 2654435761  ; produce 4 payload words
+    st   (r3), r6
+    addi r7, r6, 1
+    st   8(r3), r7
+    addi r7, r6, 2
+    st   16(r3), r7
+    addi r7, r6, 3
+    st   24(r3), r7
+    membar
+    st   (r1), r5            ; publish
+wait:
+    ld   r8, (r2)
+    sub  r9, r8, r5
+    bltz r9, wait            ; peer behind: spin
+    ld   r10, (r4)           ; racy read of the peer's payload
+    ld   r11, 8(r4)
+    add  r10, r10, r11
+    ld   r11, 16(r4)
+    add  r10, r10, r11
+    ld   r11, 24(r4)
+    add  r10, r10, r11
+    add  r30, r30, r10       ; running digest
+    addi r5, r5, 1
+    j    loop
+
+.thread 1
+    li   r1, 0x03000040      ; my flag
+    li   r2, 0x03000000      ; peer flag
+    li   r3, 0x10000100      ; my buffer
+    li   r4, 0x10000000      ; peer buffer
+    li   r5, 1               ; seq
+loop:
+    muli r6, r5, 2246822519
+    st   (r3), r6
+    addi r7, r6, 1
+    st   8(r3), r7
+    addi r7, r6, 2
+    st   16(r3), r7
+    addi r7, r6, 3
+    st   24(r3), r7
+    membar
+    st   (r1), r5
+wait:
+    ld   r8, (r2)
+    sub  r9, r8, r5
+    bltz r9, wait
+    ld   r10, (r4)
+    ld   r11, 8(r4)
+    add  r10, r10, r11
+    ld   r11, 16(r4)
+    add  r10, r10, r11
+    ld   r11, 24(r4)
+    add  r10, r10, r11
+    add  r30, r30, r10
+    addi r5, r5, 1
+    j    loop

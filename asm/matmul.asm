@@ -1,0 +1,73 @@
+; 8x8 integer matrix multiply, C = A * B, repeated forever.
+;
+; A and B live in the private region and are seeded by .data directives;
+; each outer pass perturbs A[0] so successive products differ. The inner
+; product accumulates in a register and stores each C element exactly
+; once, so C needs no initial image.
+.program matmul
+
+; A[i] = (7*i + 3) mod 64
+.data 0x40000000
+.word 3, 10, 17, 24, 31, 38, 45, 52
+.word 59, 2, 9, 16, 23, 30, 37, 44
+.word 51, 58, 1, 8, 15, 22, 29, 36
+.word 43, 50, 57, 0, 7, 14, 21, 28
+.word 35, 42, 49, 56, 63, 6, 13, 20
+.word 27, 34, 41, 48, 55, 62, 5, 12
+.word 19, 26, 33, 40, 47, 54, 61, 4
+.word 11, 18, 25, 32, 39, 46, 53, 60
+
+; B[i] = (13*i + 5) mod 64
+.data 0x40000200
+.word 5, 18, 31, 44, 57, 6, 19, 32
+.word 45, 58, 7, 20, 33, 46, 59, 8
+.word 21, 34, 47, 60, 9, 22, 35, 48
+.word 61, 10, 23, 36, 49, 62, 11, 24
+.word 37, 50, 63, 12, 25, 38, 51, 0
+.word 13, 26, 39, 52, 1, 14, 27, 40
+.word 53, 2, 15, 28, 41, 54, 3, 16
+.word 29, 42, 55, 4, 17, 30, 43, 56
+
+    li   r1, 0x40000000      ; A
+    li   r2, 0x40000200      ; B
+    li   r3, 0x40000400      ; C
+    li   r31, 1
+
+outer:
+    ld   r4, (r1)            ; perturb A[0] each pass
+    add  r4, r4, r31
+    st   (r1), r4
+    li   r5, 0               ; i
+i_loop:
+    li   r6, 0               ; j
+j_loop:
+    li   r7, 0               ; k
+    li   r8, 0               ; acc
+k_loop:
+    shli r9, r5, 3
+    add  r9, r9, r7
+    shli r9, r9, 3
+    add  r9, r9, r1          ; &A[i*8+k]
+    ld   r10, (r9)
+    shli r11, r7, 3
+    add  r11, r11, r6
+    shli r11, r11, 3
+    add  r11, r11, r2        ; &B[k*8+j]
+    ld   r12, (r11)
+    mul  r13, r10, r12
+    add  r8, r8, r13
+    addi r7, r7, 1
+    subi r14, r7, 8
+    bltz r14, k_loop
+    shli r9, r5, 3
+    add  r9, r9, r6
+    shli r9, r9, 3
+    add  r9, r9, r3          ; &C[i*8+j]
+    st   (r9), r8
+    addi r6, r6, 1
+    subi r14, r6, 8
+    bltz r14, j_loop
+    addi r5, r5, 1
+    subi r14, r5, 8
+    bltz r14, i_loop
+    j    outer

@@ -1,0 +1,119 @@
+; Iterative quicksort over a 64-element private array.
+;
+; Each outer pass refills the array from an LCG (top 31 bits, so signed
+; subtract comparisons never overflow), sorts it with Lomuto partitioning
+; and an explicit lo/hi stack in memory, then self-checks sortedness,
+; bumping a pass counter (0x40002000) or a failure counter (0x40002008).
+; The kernel never halts: sampling windows land somewhere inside an
+; endless sort/verify/refill cycle, like the generator's workloads.
+.program quicksort
+
+.data 0x40002000
+.word 0, 0                   ; verified-pass counter, failure counter
+
+    li   r1, 0x40000000      ; array base (private region)
+    li   r2, 0x40001000      ; lo/hi stack base
+    li   r3, 64              ; N
+    li   r31, 0x12345        ; LCG state, carried across passes
+
+outer:
+    ; refill: a[i] = (top 31 bits of LCG state) for i in 0..N
+    li   r4, 0               ; i
+    addi r5, r1, 0           ; ptr
+refill:
+    muli r31, r31, 2862933555777941757
+    addi r31, r31, 3037000493
+    shri r6, r31, 33
+    st   (r5), r6
+    addi r5, r5, 8
+    addi r4, r4, 1
+    sub  r7, r4, r3
+    bltz r7, refill
+
+    ; push the whole range (lo=0, hi=N-1)
+    addi r8, r2, 0           ; sp
+    li   r9, 0
+    st   (r8), r9
+    subi r10, r3, 1
+    st   8(r8), r10
+    addi r8, r8, 16
+
+qs_loop:
+    sub  r7, r8, r2
+    beqz r7, verify          ; stack empty: check, then next pass
+    subi r8, r8, 16
+    ld   r11, (r8)           ; lo
+    ld   r12, 8(r8)          ; hi
+    sub  r7, r11, r12
+    bltz r7, do_part         ; only ranges with lo < hi
+    j    qs_loop
+
+do_part:
+    shli r13, r12, 3
+    add  r13, r13, r1        ; &a[hi]
+    ld   r14, (r13)          ; pivot = a[hi]
+    subi r15, r11, 1         ; i = lo - 1
+    addi r16, r11, 0         ; j = lo
+part_loop:
+    sub  r7, r16, r12
+    beqz r7, part_done
+    shli r17, r16, 3
+    add  r17, r17, r1        ; &a[j]
+    ld   r18, (r17)
+    sub  r7, r18, r14
+    bltz r7, part_swap       ; a[j] < pivot
+    j    part_next
+part_swap:
+    addi r15, r15, 1
+    shli r19, r15, 3
+    add  r19, r19, r1        ; &a[i]
+    ld   r20, (r19)
+    st   (r19), r18
+    st   (r17), r20
+part_next:
+    addi r16, r16, 1
+    j    part_loop
+part_done:
+    addi r15, r15, 1         ; p = i + 1
+    shli r19, r15, 3
+    add  r19, r19, r1        ; &a[p]
+    ld   r20, (r19)
+    ld   r18, (r13)
+    st   (r19), r18          ; swap a[p] <-> a[hi]
+    st   (r13), r20
+    ; push (lo, p-1) and (p+1, hi); the pop-side lo<hi check culls
+    ; empty ranges, so p-1 < lo and p+1 > hi are harmless
+    st   (r8), r11
+    subi r21, r15, 1
+    st   8(r8), r21
+    addi r8, r8, 16
+    addi r21, r15, 1
+    st   (r8), r21
+    st   8(r8), r12
+    addi r8, r8, 16
+    j    qs_loop
+
+verify:
+    li   r22, 0              ; i
+    subi r23, r3, 1          ; N-1 adjacent pairs
+    addi r24, r1, 0          ; ptr
+ver_loop:
+    ld   r25, (r24)
+    ld   r26, 8(r24)
+    sub  r27, r26, r25
+    bltz r27, ver_fail       ; a[i+1] < a[i]: not sorted
+    addi r24, r24, 8
+    addi r22, r22, 1
+    sub  r27, r22, r23
+    bltz r27, ver_loop
+    li   r28, 0x40002000
+    ld   r29, (r28)
+    addi r29, r29, 1
+    st   (r28), r29
+    j    outer
+ver_fail:
+    li   r28, 0x40002008
+    ld   r29, (r28)
+    addi r29, r29, 1
+    st   (r28), r29
+    j    outer

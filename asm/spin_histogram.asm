@@ -1,0 +1,75 @@
+; Two threads binning LCG samples into a shared histogram.
+;
+; Two genuine shared-memory races drive the paper's input-incoherence
+; machinery: an *unlocked* read-modify-write of the hot counter (both
+; threads, no ordering), and the test-and-test-and-set spinlock — a
+; remote release landing between a vocal/mute pair's two reads of the
+; lock word is Figure 1's incoherence scenario verbatim. Bin updates
+; inside the critical section are membar-fenced, so the locked path
+; stays coherent.
+.program spin_histogram
+
+.data 0x01000000
+.word 0                      ; lock word
+.data 0x02000000
+.word 0                      ; hot counter (racy, unlocked)
+.data 0x10000000
+.word 0, 0, 0, 0, 0, 0, 0, 0 ; 8 histogram bins
+
+.thread 0
+    li   r1, 0x01000000      ; lock
+    li   r2, 0x02000000      ; hot counter
+    li   r3, 0x10000000      ; bins
+    li   r31, 0x9e3779b9     ; LCG state (per-thread seed)
+loop:
+    ld   r4, (r2)            ; racy unlocked increment
+    addi r4, r4, 1
+    st   (r2), r4
+    muli r31, r31, 2862933555777941757
+    addi r31, r31, 3037000493
+    shri r5, r31, 61         ; bin index 0..7
+    shli r5, r5, 3
+    add  r5, r5, r3
+    li   r6, 1
+acquire:
+    ld   r7, (r1)            ; test: plain load on the contended word
+    bnez r7, acquire
+    swap r7, (r1), r6        ; and set
+    bnez r7, acquire
+    membar
+    ld   r8, (r5)            ; bin++ under the lock
+    addi r8, r8, 1
+    st   (r5), r8
+    membar
+    li   r9, 0
+    st   (r1), r9            ; release
+    j    loop
+
+.thread 1
+    li   r1, 0x01000000      ; lock
+    li   r2, 0x02000000      ; hot counter
+    li   r3, 0x10000000      ; bins
+    li   r31, 0x7f4a7c15     ; different seed, same protocol
+loop:
+    ld   r4, (r2)
+    addi r4, r4, 1
+    st   (r2), r4
+    muli r31, r31, 2862933555777941757
+    addi r31, r31, 3037000493
+    shri r5, r31, 61
+    shli r5, r5, 3
+    add  r5, r5, r3
+    li   r6, 1
+acquire:
+    ld   r7, (r1)
+    bnez r7, acquire
+    swap r7, (r1), r6
+    bnez r7, acquire
+    membar
+    ld   r8, (r5)
+    addi r8, r8, 1
+    st   (r5), r8
+    membar
+    li   r9, 0
+    st   (r1), r9
+    j    loop

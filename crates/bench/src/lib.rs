@@ -38,9 +38,9 @@
 
 use std::path::PathBuf;
 
-use reunion_core::{ClassSummary, SampleConfig};
+use reunion_core::ClassSummary;
 use reunion_sim::{out_dir, ExperimentGrid, ExperimentReport, ShardRunOutcome};
-use reunion_workloads::{suite, Workload, WorkloadClass};
+use reunion_workloads::{kernel_suite, suite, Workload, WorkloadClass};
 
 pub use reunion_core::{Engine, Profile};
 pub use reunion_sim::{RunOptions, RUN_OPTIONS_USAGE};
@@ -99,42 +99,6 @@ pub fn usage_error(message: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Options shared by every experiment binary, parsed by [`parse_opts`].
-#[deprecated(note = "use run_options() and reunion_sim::RunOptions")]
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct BenchOpts {
-    /// The sampling profile the run measures under.
-    pub profile: Profile,
-    /// The timing engine simulations run under. `BENCH_<id>.json` output is
-    /// byte-identical either way (the engine-parity CI job enforces it);
-    /// `dense` exists for parity checks and as the reference semantics.
-    pub engine: Engine,
-}
-
-#[allow(deprecated)]
-impl BenchOpts {
-    /// The sampling parameters the selected profile maps to.
-    pub fn sample(&self) -> SampleConfig {
-        self.profile.sample()
-    }
-}
-
-/// Parses the shared experiment command line from `std::env::args`.
-///
-/// Superseded by [`run_options`], which resolves the full shared surface
-/// (serial/threads/shard/observability as well as profile and engine) and
-/// exports every winning choice; this shim delegates there and narrows the
-/// result for callers still on the two-field [`BenchOpts`].
-#[deprecated(note = "use run_options() and reunion_sim::RunOptions")]
-#[allow(deprecated)]
-pub fn parse_opts() -> BenchOpts {
-    let opts = run_options();
-    BenchOpts {
-        profile: opts.profile,
-        engine: opts.engine,
-    }
-}
-
 /// Prints a figure/table banner.
 pub fn banner(id: &str, caption: &str) {
     println!("==============================================================");
@@ -154,6 +118,12 @@ pub fn commercial_workloads() -> Vec<Workload> {
         .into_iter()
         .filter(|w| w.class().is_commercial())
         .collect()
+}
+
+/// The real-code kernel suite (`asm/`), in presentation order — the
+/// population of the `fig_kernels` binary.
+pub fn kernel_workloads() -> Vec<Workload> {
+    kernel_suite()
 }
 
 /// What [`run_and_emit`] did, stated explicitly instead of `Option`'s
@@ -319,13 +289,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn bench_opts_shim_still_samples() {
-        let opts = BenchOpts {
-            profile: Profile::Fast,
-            engine: Engine::Skip,
-        };
-        assert_eq!(opts.sample(), SampleConfig::fast());
+    fn kernel_suite_is_disjoint_from_the_named_suite() {
+        let named: std::collections::HashSet<_> = workloads().iter().map(|w| w.name()).collect();
+        let kernels = kernel_workloads();
+        assert_eq!(kernels.len(), 5);
+        assert!(kernels.iter().all(|w| !named.contains(w.name())));
     }
 
     #[test]

@@ -191,6 +191,17 @@ impl SystemConfig {
         }
     }
 
+    /// The kernel-suite configuration: Table 1 parameters on 2 logical
+    /// processors — the assembly kernels define at most two threads, so a
+    /// wider CMP would only add parked processors to every cell.
+    pub fn kernel_pair(mode: ExecutionMode) -> Self {
+        SystemConfig {
+            logical_processors: 2,
+            seed: 0x5EED_0003,
+            ..SystemConfig::table1(mode)
+        }
+    }
+
     /// Total physical cores this configuration instantiates.
     pub fn physical_cores(&self) -> usize {
         if self.mode.is_redundant() {
@@ -213,6 +224,14 @@ mod tests {
         assert_eq!(cfg.physical_cores(), 8);
         let base = SystemConfig::table1(ExecutionMode::NonRedundant);
         assert_eq!(base.physical_cores(), 4);
+    }
+
+    #[test]
+    fn kernel_pair_narrows_table1() {
+        let cfg = SystemConfig::kernel_pair(ExecutionMode::Reunion);
+        assert_eq!(cfg.logical_processors, 2);
+        assert_eq!(cfg.mem, MemConfig::default());
+        assert_ne!(cfg.seed, SystemConfig::table1(ExecutionMode::Reunion).seed);
     }
 
     #[test]

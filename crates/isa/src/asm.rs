@@ -1,0 +1,1170 @@
+//! Assembly frontend: text ↔ [`Program`].
+//!
+//! The parser turns a line-oriented `.asm` text into the same `Arc`-backed
+//! [`Program`] images the synthetic generator emits, so real kernels flow
+//! through every downstream layer (workload cache, grid, engines) without a
+//! special case. The printer emits text the parser accepts, making
+//! round-tripping a testable property: for any program built from the
+//! canonical [`Instruction`] constructors, `parse(print(p)) == p`.
+//!
+//! # Syntax
+//!
+//! One statement per line; `;` or `#` starts a comment. A *kernel image*
+//! file is:
+//!
+//! ```text
+//! .program spin_histogram      ; image name (required, first)
+//! .data 0x01000000             ; set the data cursor (8-byte aligned)
+//! .word 0                      ; M[cursor] = 0, cursor += 8
+//! .word 1, 2, -3               ; several words at once
+//!
+//! .thread 0                    ; per-thread code sections, numbered from 0
+//! .entry main                  ; optional entry label (default: first pc)
+//! main:
+//!     li   r1, 0x01000000      ; dst = imm
+//! spin:
+//!     swap r9, 0(r1), r8       ; atomic swap: dst, disp(base), operand
+//!     bnez r9, spin            ; branch to label (or absolute pc)
+//!     halt
+//! .thread 1
+//!     ...
+//! ```
+//!
+//! A file with no `.thread` directive defines a single-threaded image whose
+//! one program carries the image name verbatim; with `.thread` sections the
+//! programs are named `<image>.t<thread>`, matching the generator's
+//! convention. Labels are section-local and resolve to absolute PCs (the
+//! ISA's branch encoding). Initial-memory directives (`.data`/`.word`) are
+//! image-global and preserve file order, so later words may deliberately
+//! overwrite earlier ones.
+//!
+//! ## Mnemonics
+//!
+//! | form | instruction |
+//! |---|---|
+//! | `nop`, `halt`, `membar`, `trap` | the nullary opcodes |
+//! | `mmu <imm>` | [`Instruction::mmu_op`] |
+//! | `li rD, <imm>` | [`Instruction::load_imm`] |
+//! | `add/sub/xor/and/or/shl/shr/mul rD, rA, rB` | [`Instruction::alu`] |
+//! | `addi/subi/xori/andi/ori/shli/shri/muli rD, rA, <imm>` | [`Instruction::alu_imm`] |
+//! | `ld rD, <disp>(rA)` | [`Instruction::load`] |
+//! | `st <disp>(rA), rS` | [`Instruction::store`] |
+//! | `beqz/bnez/bltz rA, <target>` | [`Instruction::branch`] |
+//! | `j <target>` | [`Instruction::jump`] |
+//! | `swap/fetchadd rD, <disp>(rA), rS` | [`Instruction::atomic`] |
+//!
+//! Immediates are decimal (optionally negative) or `0x` hexadecimal; a
+//! branch `<target>` is a label or an absolute PC; `<disp>` may be omitted
+//! (`(rA)` means displacement 0).
+//!
+//! # Examples
+//!
+//! ```
+//! use reunion_isa::asm;
+//!
+//! let prog = asm::parse_program(
+//!     ".program counter\n\
+//!      top:\n\
+//!          addi r1, r1, 1\n\
+//!          j top\n",
+//! )
+//! .expect("valid asm");
+//! assert_eq!(prog.name(), "counter");
+//! assert_eq!(prog.len(), 2);
+//! assert_eq!(asm::parse_program(&asm::print_program(&prog)).unwrap(), prog);
+//! ```
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::{Addr, AluOp, AtomicOp, BranchCond, Instruction, Opcode, Program, RegId, NUM_REGS};
+
+/// A position in the source text: 1-based line and column (byte offset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (byte offset within the line).
+    pub col: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(line: usize, col: usize) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+impl Default for Span {
+    /// The start of the text (line 1, column 1).
+    fn default() -> Self {
+        Span::new(1, 1)
+    }
+}
+
+/// What went wrong while parsing assembly text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// A mnemonic the ISA does not define.
+    UnknownMnemonic(String),
+    /// A `.directive` the frontend does not define.
+    UnknownDirective(String),
+    /// The same label defined twice within one thread section.
+    DuplicateLabel(String),
+    /// A branch (or `.entry`) references a label never defined in its
+    /// section.
+    DanglingLabel(String),
+    /// An operand that should be a register (`r0`–`r31`) is not one.
+    BadRegister(String),
+    /// An operand that should be an immediate failed to parse.
+    BadImmediate(String),
+    /// A branch target (label or absolute PC) points outside the section's
+    /// code image.
+    TargetOutOfRange {
+        /// The resolved target PC.
+        target: usize,
+        /// The section's instruction count.
+        len: usize,
+    },
+    /// A thread section contains no instructions.
+    EmptyProgram,
+    /// Any other shape error (wrong operand count, misplaced directive,
+    /// out-of-order `.thread`, …), with a human-readable message.
+    Syntax(String),
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic {m:?}"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive {d:?}"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label {l:?}"),
+            AsmErrorKind::DanglingLabel(l) => write!(f, "dangling label {l:?} (never defined)"),
+            AsmErrorKind::BadRegister(t) => {
+                write!(f, "bad register {t:?} (expected r0..r{})", NUM_REGS - 1)
+            }
+            AsmErrorKind::BadImmediate(t) => write!(f, "bad immediate {t:?}"),
+            AsmErrorKind::TargetOutOfRange { target, len } => {
+                write!(f, "branch target pc {target} outside image of {len}")
+            }
+            AsmErrorKind::EmptyProgram => write!(f, "thread section has no instructions"),
+            AsmErrorKind::Syntax(msg) => f.write_str(msg),
+        }
+    }
+}
+
+/// A parse error with a precise source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// Where in the source the error points.
+    pub span: Span,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+impl AsmError {
+    fn new(span: Span, kind: AsmErrorKind) -> Self {
+        AsmError { span, kind }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.kind)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A parsed kernel image: one program per thread plus the initial memory
+/// words its `.data`/`.word` directives declared.
+///
+/// This is the unit `reunion-workloads` consumes: `program(thread)` maps to
+/// [`KernelImage::program`], the memory image to [`KernelImage::memory`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelImage {
+    name: String,
+    programs: Vec<Program>,
+    memory: Vec<(Addr, u64)>,
+}
+
+impl KernelImage {
+    /// The image name (the `.program` directive).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of thread programs the image defines.
+    pub fn threads(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// The program for one thread, if the image defines it.
+    pub fn program(&self, thread: usize) -> Option<&Program> {
+        self.programs.get(thread)
+    }
+
+    /// All thread programs, in thread order.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// The initial memory words, in file order (later entries overwrite
+    /// earlier ones when applied in order).
+    pub fn memory(&self) -> &[(Addr, u64)] {
+        &self.memory
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A branch/entry target as written: a label or an absolute PC.
+#[derive(Clone, Debug)]
+enum Target {
+    Label(String),
+    Pc(usize),
+}
+
+/// A branch whose immediate is patched once the section's labels are known.
+struct Fixup {
+    pc: usize,
+    target: Target,
+    span: Span,
+}
+
+#[derive(Default)]
+struct Section {
+    code: Vec<Instruction>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<Fixup>,
+    entry: Option<(Target, Span)>,
+    start: Span,
+}
+
+struct Parser {
+    name: Option<String>,
+    sections: Vec<Section>,
+    explicit_threads: bool,
+    memory: Vec<(Addr, u64)>,
+    data_cursor: Option<u64>,
+    first_thread_span: Option<Span>,
+    first_data_span: Option<Span>,
+}
+
+/// Parses a kernel image (multi-thread programs plus initial memory).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with a precise [`Span`] on any malformed input:
+/// unknown mnemonics or directives, bad registers/immediates, duplicate or
+/// dangling labels, out-of-range targets, empty sections, or misuse of the
+/// directives.
+pub fn parse_image(text: &str) -> Result<KernelImage, AsmError> {
+    parse_internal(text).map(|(image, _)| image)
+}
+
+/// Parses a single-threaded program (no `.thread` or `.data` directives).
+///
+/// This is the inverse of [`print_program`]; images with per-thread
+/// sections or initial memory go through [`parse_image`].
+///
+/// # Errors
+///
+/// Like [`parse_image`], plus a [`AsmErrorKind::Syntax`] error if the text
+/// uses `.thread` or `.data`/`.word`.
+pub fn parse_program(text: &str) -> Result<Program, AsmError> {
+    let (image, parser_meta) = parse_internal(text)?;
+    if let Some(span) = parser_meta.first_thread_span {
+        return Err(AsmError::new(
+            span,
+            AsmErrorKind::Syntax(".thread directive in a single-program context".into()),
+        ));
+    }
+    if let Some(span) = parser_meta.first_data_span {
+        return Err(AsmError::new(
+            span,
+            AsmErrorKind::Syntax(".data/.word directives in a single-program context".into()),
+        ));
+    }
+    let mut programs = image.programs;
+    Ok(programs.swap_remove(0))
+}
+
+struct ParseMeta {
+    first_thread_span: Option<Span>,
+    first_data_span: Option<Span>,
+}
+
+fn parse_internal(text: &str) -> Result<(KernelImage, ParseMeta), AsmError> {
+    let mut p = Parser {
+        name: None,
+        sections: vec![Section::default()],
+        explicit_threads: false,
+        memory: Vec::new(),
+        data_cursor: None,
+        first_thread_span: None,
+        first_data_span: None,
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        // Comments run to end of line; the language has no string literals,
+        // so a bare scan is exact.
+        let content = match raw.find([';', '#']) {
+            Some(cut) => &raw[..cut],
+            None => raw,
+        };
+        let Some(first) = content.find(|c: char| !c.is_whitespace()) else {
+            continue;
+        };
+        let span = Span::new(line_no, first + 1);
+        let stmt = content[first..].trim_end();
+        if let Some(directive) = stmt.strip_prefix('.') {
+            p.directive(directive, span, stmt)?;
+        } else {
+            p.statement(stmt, span)?;
+        }
+    }
+
+    let Some(name) = p.name else {
+        return Err(AsmError::new(
+            Span::new(1, 1),
+            AsmErrorKind::Syntax("missing .program directive".into()),
+        ));
+    };
+
+    let mut programs = Vec::with_capacity(p.sections.len());
+    for (thread, section) in p.sections.into_iter().enumerate() {
+        let prog_name = if p.explicit_threads {
+            format!("{name}.t{thread}")
+        } else {
+            name.clone()
+        };
+        programs.push(finish_section(section, prog_name)?);
+    }
+
+    Ok((
+        KernelImage {
+            name,
+            programs,
+            memory: p.memory,
+        },
+        ParseMeta {
+            first_thread_span: p.first_thread_span,
+            first_data_span: p.first_data_span,
+        },
+    ))
+}
+
+fn finish_section(mut section: Section, name: String) -> Result<Program, AsmError> {
+    if section.code.is_empty() {
+        return Err(AsmError::new(section.start, AsmErrorKind::EmptyProgram));
+    }
+    let len = section.code.len();
+    let resolve = |target: &Target, span: Span| -> Result<usize, AsmError> {
+        let pc = match target {
+            Target::Label(label) => *section
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::new(span, AsmErrorKind::DanglingLabel(label.clone())))?,
+            Target::Pc(pc) => *pc,
+        };
+        if pc >= len {
+            return Err(AsmError::new(
+                span,
+                AsmErrorKind::TargetOutOfRange { target: pc, len },
+            ));
+        }
+        Ok(pc)
+    };
+    let mut patches = Vec::with_capacity(section.fixups.len());
+    for fixup in &section.fixups {
+        patches.push((fixup.pc, resolve(&fixup.target, fixup.span)?));
+    }
+    for (pc, target) in patches {
+        section.code[pc].imm = target as i64;
+    }
+    let entry = match &section.entry {
+        Some((target, span)) => resolve(target, *span)?,
+        None => 0,
+    };
+    Program::with_entry(name, section.code, entry).map_err(|e| {
+        // Unreachable in practice: emptiness, entry and target ranges were
+        // all validated above. Kept as a span-carrying error, not a panic.
+        AsmError::new(section.start, AsmErrorKind::Syntax(e.to_string()))
+    })
+}
+
+impl Parser {
+    fn section(&mut self) -> &mut Section {
+        self.sections.last_mut().expect("at least one section")
+    }
+
+    fn directive(&mut self, directive: &str, span: Span, stmt: &str) -> Result<(), AsmError> {
+        let (word, rest) = match directive.find(char::is_whitespace) {
+            Some(cut) => (&directive[..cut], directive[cut..].trim()),
+            None => (directive, ""),
+        };
+        let rest_span = Span::new(
+            span.line,
+            // Column of the argument list: after the directive word and the
+            // whitespace separating it (exact because `rest` is a slice of
+            // the same line).
+            match rest.is_empty() {
+                true => span.col + word.len() + 1,
+                false => span.col + (rest.as_ptr() as usize - stmt[1..].as_ptr() as usize) + 1,
+            },
+        );
+        match word {
+            "program" => {
+                if self.name.is_some() {
+                    return Err(AsmError::new(
+                        span,
+                        AsmErrorKind::Syntax("duplicate .program directive".into()),
+                    ));
+                }
+                if rest.is_empty() || rest.contains(char::is_whitespace) {
+                    return Err(AsmError::new(
+                        rest_span,
+                        AsmErrorKind::Syntax(".program takes one whitespace-free name".into()),
+                    ));
+                }
+                self.name = Some(rest.to_string());
+            }
+            "entry" => {
+                if rest.is_empty() {
+                    return Err(AsmError::new(
+                        rest_span,
+                        AsmErrorKind::Syntax(".entry takes a label or pc".into()),
+                    ));
+                }
+                let section = self.section();
+                if section.entry.is_some() {
+                    return Err(AsmError::new(
+                        span,
+                        AsmErrorKind::Syntax("duplicate .entry in this section".into()),
+                    ));
+                }
+                let target = parse_target(rest, rest_span)?;
+                section.entry = Some((target, rest_span));
+            }
+            "thread" => {
+                let found: usize = rest.parse().map_err(|_| {
+                    AsmError::new(
+                        rest_span,
+                        AsmErrorKind::Syntax(".thread takes a decimal thread index".into()),
+                    )
+                })?;
+                if !self.explicit_threads {
+                    // The implicit leading section must still be untouched;
+                    // code above the first `.thread` would have no home.
+                    let implicit = self.section();
+                    if !implicit.code.is_empty()
+                        || !implicit.labels.is_empty()
+                        || implicit.entry.is_some()
+                    {
+                        return Err(AsmError::new(
+                            span,
+                            AsmErrorKind::Syntax("code before the first .thread directive".into()),
+                        ));
+                    }
+                    self.explicit_threads = true;
+                    self.first_thread_span = Some(span);
+                    self.sections.clear();
+                }
+                if found != self.sections.len() {
+                    return Err(AsmError::new(
+                        rest_span,
+                        AsmErrorKind::Syntax(format!(
+                            ".thread {found} out of order (expected .thread {})",
+                            self.sections.len()
+                        )),
+                    ));
+                }
+                self.sections.push(Section {
+                    start: span,
+                    ..Section::default()
+                });
+            }
+            "data" => {
+                let addr = parse_imm(rest).ok_or_else(|| {
+                    AsmError::new(rest_span, AsmErrorKind::BadImmediate(rest.to_string()))
+                })? as u64;
+                if addr % 8 != 0 {
+                    return Err(AsmError::new(
+                        rest_span,
+                        AsmErrorKind::Syntax(".data address must be 8-byte aligned".into()),
+                    ));
+                }
+                self.data_cursor = Some(addr);
+                self.first_data_span.get_or_insert(span);
+            }
+            "word" => {
+                let Some(cursor) = self.data_cursor.as_mut() else {
+                    return Err(AsmError::new(
+                        span,
+                        AsmErrorKind::Syntax(".word before any .data directive".into()),
+                    ));
+                };
+                if rest.is_empty() {
+                    return Err(AsmError::new(
+                        rest_span,
+                        AsmErrorKind::Syntax(".word takes one or more values".into()),
+                    ));
+                }
+                for tok in rest.split(',') {
+                    let tok = tok.trim();
+                    let value = parse_imm(tok).ok_or_else(|| {
+                        AsmError::new(rest_span, AsmErrorKind::BadImmediate(tok.to_string()))
+                    })?;
+                    self.memory.push((Addr::new(*cursor), value as u64));
+                    *cursor += 8;
+                }
+                self.first_data_span.get_or_insert(span);
+            }
+            other => {
+                return Err(AsmError::new(
+                    span,
+                    AsmErrorKind::UnknownDirective(format!(".{other}")),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// A non-directive statement: zero or more `label:` prefixes, then
+    /// optionally one instruction.
+    fn statement(&mut self, stmt: &str, span: Span) -> Result<(), AsmError> {
+        let mut rest = stmt;
+        let mut col = span.col;
+        loop {
+            let token_len = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            let token = &rest[..token_len];
+            if let Some(label) = token.strip_suffix(':') {
+                if label.is_empty() || !is_label(label) {
+                    return Err(AsmError::new(
+                        Span::new(span.line, col),
+                        AsmErrorKind::Syntax(format!("bad label {label:?}")),
+                    ));
+                }
+                let pc = self.section().code.len();
+                if self
+                    .section()
+                    .labels
+                    .insert(label.to_string(), pc)
+                    .is_some()
+                {
+                    return Err(AsmError::new(
+                        Span::new(span.line, col),
+                        AsmErrorKind::DuplicateLabel(label.to_string()),
+                    ));
+                }
+                let after = &rest[token_len..];
+                let Some(next) = after.find(|c: char| !c.is_whitespace()) else {
+                    return Ok(());
+                };
+                col += token_len + next;
+                rest = &after[next..];
+            } else {
+                return self.instruction(rest, Span::new(span.line, col));
+            }
+        }
+    }
+
+    fn instruction(&mut self, stmt: &str, span: Span) -> Result<(), AsmError> {
+        let (mnemonic, rest) = match stmt.find(char::is_whitespace) {
+            Some(cut) => (&stmt[..cut], stmt[cut..].trim_start()),
+            None => (stmt, ""),
+        };
+        let operand_col = span.col + (stmt.len() - rest.len());
+        let ops = split_operands(rest, Span::new(span.line, operand_col));
+        let pc = self.section().code.len();
+
+        let inst = match mnemonic {
+            "nop" => nullary(Instruction::nop(), &ops, mnemonic, span)?,
+            "halt" => nullary(Instruction::halt(), &ops, mnemonic, span)?,
+            "membar" => nullary(Instruction::membar(), &ops, mnemonic, span)?,
+            "trap" => nullary(Instruction::trap(), &ops, mnemonic, span)?,
+            "mmu" => {
+                let [imm] = shape(&ops, mnemonic, "mmu <imm>", span)?;
+                Instruction::mmu_op(imm.imm()? as u64)
+            }
+            "li" => {
+                let [d, imm] = shape(&ops, mnemonic, "li rD, <imm>", span)?;
+                Instruction::load_imm(d.reg()?, imm.imm()?)
+            }
+            "ld" => {
+                let [d, mem] = shape(&ops, mnemonic, "ld rD, <disp>(rA)", span)?;
+                let (base, disp) = mem.mem()?;
+                Instruction::load(d.reg()?, base, disp)
+            }
+            "st" => {
+                let [mem, s] = shape(&ops, mnemonic, "st <disp>(rA), rS", span)?;
+                let (base, disp) = mem.mem()?;
+                Instruction::store(base, s.reg()?, disp)
+            }
+            "j" => {
+                let [t] = shape(&ops, mnemonic, "j <target>", span)?;
+                self.branch_fixup(pc, t)?;
+                Instruction::jump(0)
+            }
+            "beqz" | "bnez" | "bltz" => {
+                let cond = match mnemonic {
+                    "beqz" => BranchCond::Eqz,
+                    "bnez" => BranchCond::Nez,
+                    _ => BranchCond::Ltz,
+                };
+                let [r, t] = shape(&ops, mnemonic, "bXXz rA, <target>", span)?;
+                let reg = r.reg()?;
+                self.branch_fixup(pc, t)?;
+                Instruction::branch(cond, reg, 0)
+            }
+            "swap" | "fetchadd" => {
+                let op = if mnemonic == "swap" {
+                    AtomicOp::Swap
+                } else {
+                    AtomicOp::FetchAdd
+                };
+                let [d, mem, s] = shape(&ops, mnemonic, "amo rD, <disp>(rA), rS", span)?;
+                let (base, disp) = mem.mem()?;
+                Instruction::atomic(op, d.reg()?, base, s.reg()?, disp)
+            }
+            _ => {
+                if let Some(alu) = alu_mnemonic(mnemonic) {
+                    match alu {
+                        (op, false) => {
+                            let [d, a, b] = shape(&ops, mnemonic, "op rD, rA, rB", span)?;
+                            Instruction::alu(op, d.reg()?, a.reg()?, b.reg()?)
+                        }
+                        (op, true) => {
+                            let [d, a, imm] = shape(&ops, mnemonic, "opi rD, rA, <imm>", span)?;
+                            Instruction::alu_imm(op, d.reg()?, a.reg()?, imm.imm()?)
+                        }
+                    }
+                } else {
+                    return Err(AsmError::new(
+                        span,
+                        AsmErrorKind::UnknownMnemonic(mnemonic.to_string()),
+                    ));
+                }
+            }
+        };
+        self.section().code.push(inst);
+        Ok(())
+    }
+
+    /// Records a target fixup for the branch being assembled at `pc`.
+    fn branch_fixup(&mut self, pc: usize, t: &Operand<'_>) -> Result<(), AsmError> {
+        let target = parse_target(t.text, t.span)?;
+        self.section().fixups.push(Fixup {
+            pc,
+            target,
+            span: t.span,
+        });
+        Ok(())
+    }
+}
+
+fn is_label(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_target(tok: &str, span: Span) -> Result<Target, AsmError> {
+    if is_label(tok) {
+        return Ok(Target::Label(tok.to_string()));
+    }
+    match parse_imm(tok) {
+        Some(pc) if pc >= 0 => Ok(Target::Pc(pc as usize)),
+        _ => Err(AsmError::new(
+            span,
+            AsmErrorKind::BadImmediate(tok.to_string()),
+        )),
+    }
+}
+
+/// Parses a decimal (optionally negative) or `0x` hexadecimal immediate.
+fn parse_imm(tok: &str) -> Option<i64> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<u64>().ok()?
+    };
+    // Two's-complement wrap: `0xffff_ffff_ffff_ffff` means -1, matching the
+    // printer's signed-decimal output for large unsigned words.
+    let value = magnitude as i64;
+    Some(if neg { value.wrapping_neg() } else { value })
+}
+
+/// One comma-separated operand with its source position.
+struct Operand<'a> {
+    text: &'a str,
+    span: Span,
+}
+
+impl Operand<'_> {
+    fn reg_at(tok: &str, span: Span) -> Result<RegId, AsmError> {
+        let bad = || AsmError::new(span, AsmErrorKind::BadRegister(tok.to_string()));
+        let digits = tok.strip_prefix('r').ok_or_else(bad)?;
+        let index: usize = digits.parse().map_err(|_| bad())?;
+        if index >= NUM_REGS {
+            return Err(bad());
+        }
+        Ok(RegId::new(index as u8))
+    }
+
+    fn reg(&self) -> Result<RegId, AsmError> {
+        Self::reg_at(self.text, self.span)
+    }
+
+    fn imm(&self) -> Result<i64, AsmError> {
+        parse_imm(self.text).ok_or_else(|| {
+            AsmError::new(self.span, AsmErrorKind::BadImmediate(self.text.to_string()))
+        })
+    }
+
+    /// `<disp>(rA)` or `(rA)`.
+    fn mem(&self) -> Result<(RegId, i64), AsmError> {
+        let shape_err = || {
+            AsmError::new(
+                self.span,
+                AsmErrorKind::Syntax(format!(
+                    "bad memory operand {:?} (expected <disp>(rA))",
+                    self.text
+                )),
+            )
+        };
+        let open = self.text.find('(').ok_or_else(shape_err)?;
+        let inner = self
+            .text
+            .get(
+                open + 1
+                    ..self
+                        .text
+                        .len()
+                        .checked_sub(1)
+                        .filter(|_| self.text.ends_with(')'))
+                        .ok_or_else(shape_err)?,
+            )
+            .ok_or_else(shape_err)?;
+        let disp_text = &self.text[..open];
+        let disp = if disp_text.is_empty() {
+            0
+        } else {
+            parse_imm(disp_text).ok_or_else(|| {
+                AsmError::new(self.span, AsmErrorKind::BadImmediate(disp_text.to_string()))
+            })?
+        };
+        let reg = Self::reg_at(inner, Span::new(self.span.line, self.span.col + open + 1))?;
+        Ok((reg, disp))
+    }
+}
+
+/// Splits an operand list on top-level commas, tracking each operand's
+/// column.
+fn split_operands<'a>(rest: &'a str, span: Span) -> Vec<Operand<'a>> {
+    let mut ops = Vec::new();
+    if rest.is_empty() {
+        return ops;
+    }
+    let mut start = 0;
+    for (i, c) in rest.char_indices().chain([(rest.len(), ',')]) {
+        if c != ',' {
+            continue;
+        }
+        let raw = &rest[start..i];
+        let lead = raw.len() - raw.trim_start().len();
+        ops.push(Operand {
+            text: raw.trim(),
+            span: Span::new(span.line, span.col + start + lead),
+        });
+        start = i + 1;
+    }
+    ops
+}
+
+fn nullary(
+    inst: Instruction,
+    ops: &[Operand<'_>],
+    mnemonic: &str,
+    span: Span,
+) -> Result<Instruction, AsmError> {
+    if ops.is_empty() {
+        Ok(inst)
+    } else {
+        Err(AsmError::new(
+            span,
+            AsmErrorKind::Syntax(format!("{mnemonic} takes no operands")),
+        ))
+    }
+}
+
+fn shape<'a, 'b, const N: usize>(
+    ops: &'b [Operand<'a>],
+    mnemonic: &str,
+    usage: &str,
+    span: Span,
+) -> Result<[&'b Operand<'a>; N], AsmError> {
+    if ops.len() != N {
+        return Err(AsmError::new(
+            span,
+            AsmErrorKind::Syntax(format!(
+                "{mnemonic} takes {N} operand(s): {usage} (got {})",
+                ops.len()
+            )),
+        ));
+    }
+    let mut it = ops.iter();
+    Ok(std::array::from_fn(|_| it.next().expect("length checked")))
+}
+
+fn alu_mnemonic(m: &str) -> Option<(AluOp, bool)> {
+    let (base, imm) = match m.strip_suffix('i') {
+        // `i`-suffixed immediate forms — but `shli`/`shri`/`muli` strip to
+        // `shl`/`shr`/`mul`, and plain `shl` etc. stay register forms.
+        Some(base) => (base, true),
+        None => (m, false),
+    };
+    let op = match base {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "xor" => AluOp::Xor,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "mul" => AluOp::Mul,
+        _ => return None,
+    };
+    Some((op, imm))
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+/// Prints a program as parseable assembly: `parse_program(print_program(p))`
+/// reconstructs `p` exactly, including its name and entry point.
+///
+/// # Panics
+///
+/// Panics if the program contains an instruction whose operand fields do not
+/// match its opcode's canonical shape (impossible for programs built from the
+/// [`Instruction`] constructors or produced by [`parse_program`]).
+pub fn print_program(p: &Program) -> String {
+    let mut out = format!(".program {}\n", p.name());
+    render_body(p, &mut out);
+    out
+}
+
+/// Prints a kernel image as parseable assembly:
+/// `parse_image(print_image(img))` reconstructs `img` exactly for images
+/// produced by [`parse_image`].
+///
+/// # Panics
+///
+/// Like [`print_program`], panics on non-canonical instruction shapes.
+pub fn print_image(img: &KernelImage) -> String {
+    let mut out = format!(".program {}\n", img.name());
+    let mut next_addr = None;
+    for &(addr, value) in img.memory() {
+        if next_addr != Some(addr) {
+            out.push_str(&format!(".data {:#x}\n", addr.as_u64()));
+        }
+        out.push_str(&format!(".word {}\n", value as i64));
+        next_addr = Some(addr.offset(8));
+    }
+    let single = img.programs().len() == 1 && img.programs()[0].name() == img.name();
+    for (thread, p) in img.programs().iter().enumerate() {
+        if !single {
+            out.push_str(&format!(".thread {thread}\n"));
+        }
+        render_body(p, &mut out);
+    }
+    out
+}
+
+fn render_body(p: &Program, out: &mut String) {
+    let mut targets: BTreeSet<usize> = p.iter().filter_map(|(_, i)| i.branch_target()).collect();
+    if p.entry() != 0 {
+        targets.insert(p.entry());
+        out.push_str(&format!(".entry L{}\n", p.entry()));
+    }
+    for (pc, inst) in p.iter() {
+        if targets.contains(&pc) {
+            out.push_str(&format!("L{pc}:\n"));
+        }
+        out.push_str("    ");
+        out.push_str(&render_inst(inst));
+        out.push('\n');
+    }
+}
+
+fn render_inst(inst: &Instruction) -> String {
+    let dst = || inst.dst.expect("canonical: dst present");
+    let src1 = || inst.src1.expect("canonical: src1 present");
+    let src2 = || inst.src2.expect("canonical: src2 present");
+    match inst.op {
+        Opcode::Nop => "nop".into(),
+        Opcode::Halt => "halt".into(),
+        Opcode::Membar => "membar".into(),
+        Opcode::Trap => "trap".into(),
+        Opcode::MmuOp => format!("mmu {}", inst.imm),
+        Opcode::LoadImm => format!("li {}, {}", dst(), inst.imm),
+        Opcode::Alu(op) => {
+            let name = match op {
+                AluOp::Add => "add",
+                AluOp::Sub => "sub",
+                AluOp::Xor => "xor",
+                AluOp::And => "and",
+                AluOp::Or => "or",
+                AluOp::Shl => "shl",
+                AluOp::Shr => "shr",
+                AluOp::Mul => "mul",
+            };
+            match inst.src2 {
+                Some(b) => format!("{name} {}, {}, {}", dst(), src1(), b),
+                None => format!("{name}i {}, {}, {}", dst(), src1(), inst.imm),
+            }
+        }
+        Opcode::Load => format!("ld {}, {}({})", dst(), inst.imm, src1()),
+        Opcode::Store => format!("st {}({}), {}", inst.imm, src1(), src2()),
+        Opcode::Branch(cond) => {
+            let target = inst.imm as usize;
+            match cond {
+                BranchCond::Eqz => format!("beqz {}, L{target}", src1()),
+                BranchCond::Nez => format!("bnez {}, L{target}", src1()),
+                BranchCond::Ltz => format!("bltz {}, L{target}", src1()),
+                BranchCond::Always => {
+                    assert!(
+                        inst.src1.is_none(),
+                        "canonical: unconditional jumps carry no register"
+                    );
+                    format!("j L{target}")
+                }
+            }
+        }
+        Opcode::Atomic(op) => {
+            let name = match op {
+                AtomicOp::Swap => "swap",
+                AtomicOp::FetchAdd => "fetchadd",
+            };
+            format!("{name} {}, {}({}), {}", dst(), inst.imm, src1(), src2())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err(text: &str) -> AsmError {
+        parse_image(text).expect_err("must fail")
+    }
+
+    #[test]
+    fn parses_every_mnemonic_shape() {
+        let prog = parse_program(
+            ".program all\n\
+             top:\n\
+             \tnop\n\
+             \tli r1, -5\n\
+             \tadd r2, r1, r1\n\
+             \taddi r2, r2, 0x10\n\
+             \tshli r3, r2, 3\n\
+             \tld r4, 8(r1)\n\
+             \tld r4, (r1)\n\
+             \tst -8(r1), r4\n\
+             \tswap r5, 0(r1), r4\n\
+             \tfetchadd r5, 16(r1), r4\n\
+             \tmembar\n\
+             \ttrap\n\
+             \tmmu 24\n\
+             \tbeqz r5, top\n\
+             \tbnez r5, 0\n\
+             \tbltz r5, top\n\
+             \tj top\n\
+             \thalt\n",
+        )
+        .expect("valid");
+        assert_eq!(prog.len(), 18);
+        assert_eq!(
+            prog.fetch(1),
+            Some(&Instruction::load_imm(RegId::new(1), -5))
+        );
+        assert_eq!(
+            prog.fetch(5),
+            Some(&Instruction::load(RegId::new(4), RegId::new(1), 8))
+        );
+        assert_eq!(
+            prog.fetch(6),
+            Some(&Instruction::load(RegId::new(4), RegId::new(1), 0))
+        );
+        assert_eq!(prog.fetch(14).and_then(|i| i.branch_target()), Some(0));
+        assert_eq!(prog.fetch(15).and_then(|i| i.branch_target()), Some(0));
+    }
+
+    #[test]
+    fn round_trips_a_representative_program() {
+        let prog = Program::with_entry(
+            "rt",
+            vec![
+                Instruction::nop(),
+                Instruction::load_imm(RegId::new(1), i64::MIN),
+                Instruction::branch(BranchCond::Nez, RegId::new(1), 1),
+                Instruction::jump(0),
+            ],
+            1,
+        )
+        .unwrap();
+        let text = print_program(&prog);
+        assert_eq!(parse_program(&text).expect("parses"), prog);
+    }
+
+    #[test]
+    fn image_round_trips_threads_and_memory() {
+        let text = ".program pair\n\
+                    .data 0x100\n\
+                    .word 1, -2, 0x3\n\
+                    .data 0x1000\n\
+                    .word 7\n\
+                    .thread 0\n\
+                    a:\n\
+                    \taddi r1, r1, 1\n\
+                    \tj a\n\
+                    .thread 1\n\
+                    \tld r2, 0(r1)\n\
+                    \tj 0\n";
+        let image = parse_image(text).expect("valid");
+        assert_eq!(image.threads(), 2);
+        assert_eq!(image.program(0).unwrap().name(), "pair.t0");
+        assert_eq!(image.memory().len(), 4);
+        assert_eq!(image.memory()[1], (Addr::new(0x108), (-2i64) as u64));
+        assert_eq!(parse_image(&print_image(&image)).expect("reparses"), image);
+    }
+
+    #[test]
+    fn unknown_mnemonic_has_precise_span() {
+        let e = err(".program x\n    frobnicate r1, r2\n");
+        assert_eq!(e.span, Span::new(2, 5));
+        assert_eq!(e.kind, AsmErrorKind::UnknownMnemonic("frobnicate".into()));
+    }
+
+    #[test]
+    fn dangling_label_points_at_the_reference() {
+        let e = err(".program x\n    nop\n    j nowhere\n");
+        assert_eq!(e.span, Span::new(3, 7));
+        assert_eq!(e.kind, AsmErrorKind::DanglingLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn duplicate_label_points_at_the_redefinition() {
+        let e = err(".program x\nhere:\n    nop\nhere:\n    nop\n");
+        assert_eq!(e.span, Span::new(4, 1));
+        assert_eq!(e.kind, AsmErrorKind::DuplicateLabel("here".into()));
+    }
+
+    #[test]
+    fn bad_register_and_immediate_spans() {
+        let e = err(".program x\n    li r99, 5\n");
+        assert_eq!(e.kind, AsmErrorKind::BadRegister("r99".into()));
+        assert_eq!(e.span, Span::new(2, 8));
+        let e = err(".program x\n    li r1, fivety\n");
+        assert_eq!(e.kind, AsmErrorKind::BadImmediate("fivety".into()));
+        assert_eq!(e.span, Span::new(2, 12));
+    }
+
+    #[test]
+    fn numeric_target_out_of_range() {
+        let e = err(".program x\n    j 7\n");
+        assert_eq!(e.kind, AsmErrorKind::TargetOutOfRange { target: 7, len: 1 });
+        assert_eq!(e.span, Span::new(2, 7));
+    }
+
+    #[test]
+    fn label_at_end_of_section_is_out_of_range_when_referenced() {
+        let e = err(".program x\n    j fin\nfin:\n");
+        assert_eq!(e.kind, AsmErrorKind::TargetOutOfRange { target: 1, len: 1 });
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert_eq!(
+            err("    nop\n").kind,
+            AsmErrorKind::Syntax("missing .program directive".into())
+        );
+        assert_eq!(err(".program x\n").kind, AsmErrorKind::EmptyProgram);
+        assert!(matches!(
+            err(".program x\n.thread 1\n    nop\n").kind,
+            AsmErrorKind::Syntax(_)
+        ));
+        assert!(matches!(
+            err(".program x\n    nop\n.thread 0\n    nop\n").kind,
+            AsmErrorKind::Syntax(_)
+        ));
+        assert!(matches!(
+            err(".program x\n.word 3\n    nop\n").kind,
+            AsmErrorKind::Syntax(_)
+        ));
+        assert!(matches!(
+            err(".program x\n.bss 12\n    nop\n").kind,
+            AsmErrorKind::UnknownDirective(_)
+        ));
+        assert!(matches!(
+            err(".program x\n    st 0(r1)\n").kind,
+            AsmErrorKind::Syntax(_)
+        ));
+    }
+
+    #[test]
+    fn parse_program_rejects_image_directives() {
+        assert!(matches!(
+            parse_program(".program x\n.thread 0\n    nop\n")
+                .expect_err("thread sections")
+                .kind,
+            AsmErrorKind::Syntax(_)
+        ));
+        assert!(matches!(
+            parse_program(".program x\n.data 0x0\n.word 1\n    nop\n")
+                .expect_err("data image")
+                .kind,
+            AsmErrorKind::Syntax(_)
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let prog = parse_program(
+            "; leading comment\n\
+             .program c  # trailing\n\
+             \n\
+             loop: nop ; same-line label + comment\n\
+             \tj loop\n",
+        )
+        .expect("valid");
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn error_display_carries_span() {
+        let e = err(".program x\n    wat\n");
+        let text = e.to_string();
+        assert!(text.contains("line 2"), "{text}");
+        assert!(text.contains("wat"), "{text}");
+    }
+}

@@ -46,6 +46,7 @@
 #![deny(missing_docs)]
 
 mod addr;
+pub mod asm;
 mod exec;
 mod inst;
 mod program;
@@ -53,6 +54,7 @@ mod reg;
 mod state;
 
 pub use addr::{Addr, LINE_BYTES, PAGE_BYTES};
+pub use asm::{AsmError, AsmErrorKind, KernelImage, Span};
 pub use exec::{
     alu_compute, atomic_update, branch_decides, effective_address, execute, DataMemory,
     FunctionalCore, SparseMemory, StepEffect,

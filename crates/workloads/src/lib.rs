@@ -41,6 +41,7 @@
 
 mod builder;
 mod gen;
+mod kernels;
 mod spec;
 mod suite;
 
@@ -49,5 +50,6 @@ pub use gen::{
     generate_program, initial_memory, FLAG_BASE, FLAG_SLOTS, HOT_BASE, LOCK_BASE, PRIVATE_BASE,
     PRIVATE_SPACING, SHARED_BASE,
 };
+pub use kernels::{kernel_suite, KERNEL_SOURCES};
 pub use spec::{SharingModel, WorkloadClass, WorkloadSpec};
 pub use suite::{suite, Workload};

@@ -3,9 +3,10 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use reunion_isa::{Addr, Program};
+use reunion_isa::asm::{self, KernelImage};
+use reunion_isa::{Addr, Instruction, Program};
 
-use crate::{gen, SharingModel, WorkloadClass, WorkloadSpec};
+use crate::{gen, kernels, SharingModel, WorkloadClass, WorkloadSpec};
 
 /// Lazily generated workload artifacts, shared by every clone of one
 /// [`Workload`] — and hence by every grid cell and every `CmpSystem` built
@@ -21,6 +22,20 @@ struct ArtifactCache {
     /// The initial memory image (pointer rings etc.) — up to half a million
     /// entries for em3d; generated at most once per workload.
     memory: OnceLock<Arc<[(Addr, u64)]>>,
+    /// The parsed kernel image for an assembly-sourced workload — parsed at
+    /// most once per workload; `None` source never touches it.
+    image: OnceLock<Arc<KernelImage>>,
+}
+
+/// Where a workload's program and memory images come from.
+#[derive(Clone, Copy, Debug)]
+enum ProgramSource {
+    /// The synthetic generator, parameterized by the spec.
+    Generated,
+    /// A compiled-in assembly kernel (`asm/*.asm`), parsed on first use.
+    /// The spec still carries the name/class/ITLB parameters; the program
+    /// and initial-memory images come from the text.
+    Kernel(&'static str),
 }
 
 /// A named workload: its parameterization plus program/memory generation.
@@ -36,6 +51,7 @@ struct ArtifactCache {
 #[derive(Clone, Debug)]
 pub struct Workload {
     spec: WorkloadSpec,
+    source: ProgramSource,
     /// `None` for a cache-disabled workload ([`Workload::uncached`]) —
     /// every call regenerates from the spec, the reference behaviour the
     /// byte-identity property test compares the cache against.
@@ -48,6 +64,7 @@ impl Workload {
         spec.assert_valid();
         Workload {
             spec,
+            source: ProgramSource::Generated,
             cache: Some(Arc::new(ArtifactCache::default())),
         }
     }
@@ -58,14 +75,48 @@ impl Workload {
     /// is purely an optimization (identical artifacts, identical reports).
     pub fn uncached(spec: WorkloadSpec) -> Self {
         spec.assert_valid();
-        Workload { spec, cache: None }
+        Workload {
+            spec,
+            source: ProgramSource::Generated,
+            cache: None,
+        }
     }
 
-    /// Looks up a workload from the standard suite by (case-insensitive)
-    /// name.
+    /// Wraps an assembly kernel: programs and initial memory come from
+    /// `source` (an `asm/*.asm` text, typically `include_str!`-ed), while
+    /// the spec carries the name, class and ITLB parameters. The text is
+    /// parsed lazily, at most once per workload (the same artifact cache
+    /// that shares generated programs across a grid's cells).
+    ///
+    /// Threads beyond what the image defines get a parked single-`halt`
+    /// program, so a single-threaded kernel still runs on a many-LP system.
+    pub fn kernel(spec: WorkloadSpec, source: &'static str) -> Self {
+        spec.assert_valid();
+        Workload {
+            spec,
+            source: ProgramSource::Kernel(source),
+            cache: Some(Arc::new(ArtifactCache::default())),
+        }
+    }
+
+    /// [`kernel`](Self::kernel) with the artifact cache disabled — the
+    /// reference behaviour (re-parse on every call) that the cache
+    /// byte-identity test compares against.
+    pub fn kernel_uncached(spec: WorkloadSpec, source: &'static str) -> Self {
+        spec.assert_valid();
+        Workload {
+            spec,
+            source: ProgramSource::Kernel(source),
+            cache: None,
+        }
+    }
+
+    /// Looks up a workload by (case-insensitive) name, first in the
+    /// standard suite, then in the kernel suite.
     pub fn by_name(name: &str) -> Option<Workload> {
         suite()
             .into_iter()
+            .chain(kernels::kernel_suite())
             .find(|w| w.name().eq_ignore_ascii_case(name))
     }
 
@@ -84,6 +135,50 @@ impl Workload {
         &self.spec
     }
 
+    /// The kernel image behind an assembly-sourced workload, parsed (at
+    /// most once when cached) from the compiled-in text. `None` for a
+    /// generator-backed workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled-in text does not parse — a build defect, not
+    /// a runtime condition.
+    pub fn kernel_image(&self) -> Option<Arc<KernelImage>> {
+        let ProgramSource::Kernel(text) = self.source else {
+            return None;
+        };
+        let parse = || {
+            Arc::new(
+                asm::parse_image(text)
+                    .unwrap_or_else(|e| panic!("{}: bad compiled-in kernel: {e}", self.name())),
+            )
+        };
+        Some(match &self.cache {
+            Some(cache) => cache.image.get_or_init(parse).clone(),
+            None => parse(),
+        })
+    }
+
+    /// Builds the artifact for one thread, whatever the source.
+    fn make_program(&self, thread: usize) -> Program {
+        match self.source {
+            ProgramSource::Generated => gen::generate_program(&self.spec, thread),
+            ProgramSource::Kernel(_) => {
+                let image = self.kernel_image().expect("kernel source");
+                match image.program(thread) {
+                    Some(p) => p.clone(),
+                    // LPs the image does not define park on an immediate
+                    // halt; the skip engine treats them as quiescent.
+                    None => Program::new(
+                        format!("{}.parked", image.name()),
+                        vec![Instruction::halt()],
+                    )
+                    .expect("parked program is valid"),
+                }
+            }
+        }
+    }
+
     /// The program image for logical processor `thread` — generated once
     /// per thread and served as a shared handle afterwards (`Program` clones
     /// are reference-count bumps).
@@ -93,23 +188,32 @@ impl Workload {
                 let mut programs = cache.programs.lock().expect("program cache poisoned");
                 programs
                     .entry(thread)
-                    .or_insert_with(|| gen::generate_program(&self.spec, thread))
+                    .or_insert_with(|| self.make_program(thread))
                     .clone()
             }
-            None => gen::generate_program(&self.spec, thread),
+            None => self.make_program(thread),
         }
     }
 
-    /// Initial memory contents (pointer rings etc.), to be applied to the
-    /// memory system before simulation — generated once and shared; every
-    /// system built from this workload gets a handle to the same image.
+    /// Initial memory contents (pointer rings, `.data` images), to be
+    /// applied to the memory system before simulation — generated once and
+    /// shared; every system built from this workload gets a handle to the
+    /// same image.
     pub fn initial_memory(&self) -> Arc<[(Addr, u64)]> {
+        let make = || -> Arc<[(Addr, u64)]> {
+            match self.source {
+                ProgramSource::Generated => gen::initial_memory(&self.spec).into(),
+                ProgramSource::Kernel(_) => self
+                    .kernel_image()
+                    .expect("kernel source")
+                    .memory()
+                    .to_vec()
+                    .into(),
+            }
+        };
         match &self.cache {
-            Some(cache) => cache
-                .memory
-                .get_or_init(|| gen::initial_memory(&self.spec).into())
-                .clone(),
-            None => gen::initial_memory(&self.spec).into(),
+            Some(cache) => cache.memory.get_or_init(make).clone(),
+            None => make(),
         }
     }
 

@@ -1,0 +1,168 @@
+//! Differential battery for the assembly frontend.
+//!
+//! The parser and printer are inverses, proven three ways: the shipped
+//! kernels round-trip through print→parse to the exact parsed image (and
+//! the printed text reaches a fixpoint), seeded random programs built from
+//! the canonical [`Instruction`] constructors survive print→parse to
+//! equality, and the synthetic generator's programs — the other producer
+//! of `Program` values in the tree — round-trip too. Malformed inputs are
+//! rejected with precise spans, never panics.
+//!
+//! The random stream is seeded by `REUNION_PROP_SEED` (default below),
+//! never by wall-clock time, so failures replay exactly.
+
+use reunion_isa::asm::{self, AsmErrorKind, Span};
+use reunion_isa::{AluOp, AtomicOp, BranchCond, Instruction, Program, RegId, NUM_REGS};
+use reunion_kernel::SimRng;
+use reunion_workloads::{suite, KERNEL_SOURCES};
+
+const DEFAULT_SEED: u64 = 0xE16_16E5;
+
+fn prop_seed() -> u64 {
+    std::env::var("REUNION_PROP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Every shipped kernel parses, and print→parse is the identity on the
+/// parsed image — with the printed text itself a fixpoint (printing the
+/// re-parsed image reproduces it byte for byte).
+#[test]
+fn shipped_kernels_reach_a_print_parse_fixpoint() {
+    for &(name, text) in KERNEL_SOURCES.iter() {
+        let image = asm::parse_image(text)
+            .unwrap_or_else(|e| panic!("{name}: shipped kernel must parse: {e}"));
+        assert_eq!(image.name(), name, "image name must match the file");
+        let printed = asm::print_image(&image);
+        let reparsed = asm::parse_image(&printed)
+            .unwrap_or_else(|e| panic!("{name}: printed form must re-parse: {e}"));
+        assert_eq!(reparsed, image, "{name}: print→parse must be identity");
+        assert_eq!(
+            asm::print_image(&reparsed),
+            printed,
+            "{name}: printed text must be a fixpoint"
+        );
+    }
+}
+
+fn random_reg(rng: &mut SimRng) -> RegId {
+    RegId::new((rng.next_u64() % NUM_REGS as u64) as u8)
+}
+
+fn random_inst(rng: &mut SimRng, len: usize) -> Instruction {
+    let target = (rng.next_u64() % len as u64) as usize;
+    let imm = rng.next_u64() as i64;
+    let alu = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Mul,
+    ][(rng.next_u64() % 8) as usize];
+    let cond = [BranchCond::Eqz, BranchCond::Nez, BranchCond::Ltz][(rng.next_u64() % 3) as usize];
+    match rng.next_u64() % 13 {
+        0 => Instruction::nop(),
+        1 => Instruction::halt(),
+        2 => Instruction::load_imm(random_reg(rng), imm),
+        3 => Instruction::alu(alu, random_reg(rng), random_reg(rng), random_reg(rng)),
+        4 => Instruction::alu_imm(alu, random_reg(rng), random_reg(rng), imm),
+        5 => Instruction::load(random_reg(rng), random_reg(rng), imm),
+        6 => Instruction::store(random_reg(rng), random_reg(rng), imm),
+        7 => Instruction::branch(cond, random_reg(rng), target),
+        8 => Instruction::jump(target),
+        9 => Instruction::atomic(
+            if rng.chance(0.5) {
+                AtomicOp::Swap
+            } else {
+                AtomicOp::FetchAdd
+            },
+            random_reg(rng),
+            random_reg(rng),
+            random_reg(rng),
+            imm,
+        ),
+        10 => Instruction::membar(),
+        11 => Instruction::trap(),
+        _ => Instruction::mmu_op(rng.next_u64() >> 32),
+    }
+}
+
+/// 100 seeded random programs — every canonical instruction shape, full
+/// i64 immediates, random entry points — survive print→parse to equality,
+/// and the printed text is byte-stable across the round trip.
+#[test]
+fn random_programs_round_trip_to_byte_equality() {
+    let mut rng = SimRng::seed_from(prop_seed() ^ 0xA53_F00D);
+    for case in 0..100 {
+        let len = 1 + (rng.next_u64() % 40) as usize;
+        let code: Vec<Instruction> = (0..len).map(|_| random_inst(&mut rng, len)).collect();
+        let entry = (rng.next_u64() % len as u64) as usize;
+        let program = Program::with_entry(format!("prop_{case}"), code, entry)
+            .expect("generated program is valid");
+
+        let printed = asm::print_program(&program);
+        let reparsed = asm::parse_program(&printed)
+            .unwrap_or_else(|e| panic!("case {case}: printed program must parse: {e}\n{printed}"));
+        assert_eq!(
+            reparsed, program,
+            "case {case}: print→parse must be identity"
+        );
+        assert_eq!(
+            asm::print_program(&reparsed),
+            printed,
+            "case {case}: printed text must be byte-stable"
+        );
+    }
+}
+
+/// The synthetic generator is the other producer of `Program` values; its
+/// output must stay within the canonical shapes the printer handles.
+#[test]
+fn generator_programs_round_trip() {
+    for w in suite() {
+        for thread in 0..2 {
+            let program = w.program(thread);
+            let reparsed = asm::parse_program(&asm::print_program(&program))
+                .unwrap_or_else(|e| panic!("{} thread {thread}: {e}", w.name()));
+            assert_eq!(reparsed, program, "{} thread {thread}", w.name());
+        }
+    }
+}
+
+/// Malformed inputs die with precise spans — the error cases a loader must
+/// report usefully, asserted to the exact line and column.
+#[test]
+fn malformed_inputs_report_precise_spans() {
+    let e = asm::parse_image(".program x\n    nop\n    frobnicate r1\n").unwrap_err();
+    assert_eq!(e.kind, AsmErrorKind::UnknownMnemonic("frobnicate".into()));
+    assert_eq!(e.span, Span::new(3, 5));
+
+    let e = asm::parse_image(".program x\n    beqz r3, missing\n").unwrap_err();
+    assert_eq!(e.kind, AsmErrorKind::DanglingLabel("missing".into()));
+    assert_eq!(e.span, Span::new(2, 14));
+
+    let e = asm::parse_image(".program x\ntwice:\n    nop\ntwice:\n    halt\n").unwrap_err();
+    assert_eq!(e.kind, AsmErrorKind::DuplicateLabel("twice".into()));
+    assert_eq!(e.span, Span::new(4, 1));
+
+    let e = asm::parse_image(".program x\n    li r95, 3\n").unwrap_err();
+    assert_eq!(e.kind, AsmErrorKind::BadRegister("r95".into()));
+    assert_eq!(e.span, Span::new(2, 8));
+
+    let e = asm::parse_image(".program x\n    j 12\n").unwrap_err();
+    assert_eq!(
+        e.kind,
+        AsmErrorKind::TargetOutOfRange { target: 12, len: 1 }
+    );
+    assert_eq!(e.span, Span::new(2, 7));
+
+    // Errors format with their position — what a build log shows.
+    let text = asm::parse_image(".program x\n    wat\n")
+        .unwrap_err()
+        .to_string();
+    assert!(text.contains("line 2, col 5"), "{text}");
+}

@@ -14,7 +14,7 @@ use reunion_core::{
     measure, normalized_ipc, Engine, ExecutionMode, Measurement, SampleConfig, SystemConfig,
 };
 use reunion_kernel::SimRng;
-use reunion_workloads::{suite, Workload};
+use reunion_workloads::{kernel_suite, suite, Workload};
 
 const DEFAULT_SEED: u64 = 0xE16_16E5;
 
@@ -119,6 +119,33 @@ fn randomized_normalized_pairs_are_engine_invariant() {
         assert_eq!(dense.ci95.to_bits(), skip.ci95.to_bits());
         assert_eq!(face(&dense.model), face(&skip.model));
         assert_eq!(face(&dense.baseline), face(&skip.baseline));
+    }
+}
+
+/// The real-code kernel workloads (`asm/`) obey the same invariance
+/// contract as the synthetic suite: every measured counter agrees exactly
+/// between engines, across modes and comparison latencies.
+#[test]
+fn kernel_measurements_are_engine_invariant() {
+    let mut rng = SimRng::seed_from(prop_seed() ^ 0x6E26_E150);
+    let kernels = kernel_suite();
+    for case in 0..8 {
+        let mode = ExecutionMode::ALL[(rng.next_u64() % 3) as usize];
+        let workload = kernels[(rng.next_u64() % kernels.len() as u64) as usize].clone();
+        let mut cfg = random_config(&mut rng, mode);
+
+        cfg.engine = Engine::Dense;
+        let dense = measure(&cfg, &workload, &sample());
+        cfg.engine = Engine::Skip;
+        let skip = measure(&cfg, &workload, &sample());
+
+        assert_eq!(
+            face(&dense),
+            face(&skip),
+            "case {case}: {mode} {} lat={} diverged between engines",
+            workload.name(),
+            cfg.comparison_latency,
+        );
     }
 }
 

@@ -1,0 +1,150 @@
+//! Race-kernel semantics and kernel-suite determinism.
+//!
+//! The assembly kernels exist to prove the frontend feeds the paper's
+//! machinery, not just single-threaded replay. Three properties gate that:
+//!
+//! 1. **Race semantics** — the multi-threaded kernels (and only they)
+//!    produce nonzero `input_incoherence` under Reunion's relaxed input
+//!    replication; under Strict (fully serialized input replication — the
+//!    mute observes exactly the vocal's load values) every kernel is
+//!    incoherence-free by construction.
+//! 2. **Engine and schedule determinism** — the kernel grid's report is
+//!    byte-identical between dense and skip engines and between serial and
+//!    parallel execution, like every other gated artifact.
+//! 3. **Obs-block invariance** — with observability on, the tick-recorded
+//!    histograms (check latency, stall episodes, incoherence gaps) agree
+//!    exactly between engines on kernel workloads.
+
+use reunion_core::{measure, Engine, ExecutionMode, ObsConfig, SampleConfig, SystemConfig};
+use reunion_sim::{ExperimentGrid, Runner};
+use reunion_workloads::{kernel_suite, Workload};
+
+/// The kernels with genuine shared-memory races.
+const RACY: [&str; 2] = ["spin_histogram", "flag_ring"];
+
+fn sample() -> SampleConfig {
+    SampleConfig {
+        warmup: 6_000,
+        window: 6_000,
+        windows: 2,
+    }
+}
+
+/// Relaxed input replication sees the races; serialized replication and
+/// raceless kernels see none.
+#[test]
+fn racy_kernels_produce_incoherence_under_reunion_only() {
+    for w in kernel_suite() {
+        let racy = RACY.contains(&w.name());
+
+        let reunion = measure(
+            &SystemConfig::kernel_pair(ExecutionMode::Reunion),
+            &w,
+            &sample(),
+        );
+        if racy {
+            assert!(
+                reunion.totals.input_incoherence > 0,
+                "{}: a racy kernel must trip input incoherence under Reunion",
+                w.name()
+            );
+        } else {
+            assert_eq!(
+                reunion.totals.input_incoherence,
+                0,
+                "{}: a single-threaded kernel has no remote writers to race with",
+                w.name()
+            );
+        }
+
+        let strict = measure(
+            &SystemConfig::kernel_pair(ExecutionMode::Strict),
+            &w,
+            &sample(),
+        );
+        assert_eq!(
+            strict.totals.input_incoherence,
+            0,
+            "{}: fully serialized input replication cannot diverge",
+            w.name()
+        );
+    }
+}
+
+fn dense_base(mode: ExecutionMode) -> SystemConfig {
+    let mut cfg = SystemConfig::kernel_pair(mode);
+    cfg.engine = Engine::Dense;
+    cfg
+}
+
+fn skip_base(mode: ExecutionMode) -> SystemConfig {
+    let mut cfg = SystemConfig::kernel_pair(mode);
+    cfg.engine = Engine::Skip;
+    cfg
+}
+
+fn kernel_grid(base: fn(ExecutionMode) -> SystemConfig) -> ExperimentGrid {
+    ExperimentGrid::builder("kernels_det", "kernel determinism grid")
+        .base(base)
+        .sample(sample())
+        .workloads(vec![
+            Workload::by_name("spin_histogram").unwrap(),
+            Workload::by_name("crc32").unwrap(),
+        ])
+        .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
+        .build()
+}
+
+/// The kernel report is byte-identical between engines and schedules — the
+/// same parity contract `BENCH_kernels.json` is gated on in CI.
+#[test]
+fn kernel_report_is_byte_identical_between_engines_and_schedules() {
+    let dense = Runner::serial().run(&kernel_grid(dense_base)).to_json();
+    let skip = Runner::serial().run(&kernel_grid(skip_base)).to_json();
+    assert_eq!(
+        dense, skip,
+        "dense and skip engines must emit identical bytes"
+    );
+    let parallel = Runner::with_threads(4)
+        .run(&kernel_grid(skip_base))
+        .to_json();
+    assert_eq!(
+        skip, parallel,
+        "serial and parallel runs must emit identical bytes"
+    );
+}
+
+/// Tick-recorded observability agrees exactly between engines on the racy
+/// kernels — check latency, stall episodes, incoherence gaps and the
+/// bounded event trace.
+#[test]
+fn kernel_obs_blocks_are_engine_invariant() {
+    for name in RACY {
+        let workload = Workload::by_name(name).unwrap();
+        let mut cfg = SystemConfig::kernel_pair(ExecutionMode::Reunion);
+        cfg.obs = ObsConfig {
+            enabled: true,
+            trace_cap: 64,
+        };
+
+        cfg.engine = Engine::Dense;
+        let dense = measure(&cfg, &workload, &sample());
+        cfg.engine = Engine::Skip;
+        let skip = measure(&cfg, &workload, &sample());
+
+        let d = dense.obs.as_ref().expect("obs enabled");
+        let s = skip.obs.as_ref().expect("obs enabled");
+        assert_eq!(d.check_latency, s.check_latency, "{name}: check latency");
+        assert_eq!(d.stall_episodes, s.stall_episodes, "{name}: stall episodes");
+        assert_eq!(
+            d.incoherence_gaps, s.incoherence_gaps,
+            "{name}: incoherence gaps"
+        );
+        assert_eq!(d.trace_events, s.trace_events, "{name}: trace counts");
+        assert_eq!(dense.trace, skip.trace, "{name}: trace contents");
+        assert!(
+            d.incoherence_gaps.count() > 0,
+            "{name}: a racy kernel must record incoherence gaps"
+        );
+    }
+}
