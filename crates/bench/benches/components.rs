@@ -31,7 +31,7 @@ use reunion_fingerprint::{Crc, FingerprintUnit, TwoStageCompressor, UpdateRecord
 use reunion_isa::{Addr, Instruction, Program, RegId};
 use reunion_kernel::Cycle;
 use reunion_mem::{CacheArray, MemConfig, MemorySystem, Owner, PhantomStrength};
-use reunion_sim::{CellQueue, ConfigPatch, ExperimentGrid};
+use reunion_sim::{CellQueue, ConfigPatch, ExperimentGrid, RunOptions};
 use reunion_workloads::Workload;
 
 /// Minimal stand-in for criterion's driver: `bench_function` + `Bencher::iter`.
@@ -213,7 +213,17 @@ fn bench_system_tick(c: &mut Criterion) {
 /// the quick sampling profile — small enough for CI, wide enough that a
 /// change to any hot path moves at least one counter.
 fn counters_grid() -> ExperimentGrid {
+    // The counters harness has no command line of its own, but the gate's
+    // dense/skip contract (identical work counters, differing
+    // `skipped_cycles`) is exercised by re-running under
+    // `REUNION_ENGINE=dense`; resolve the run surface from the environment
+    // and overlay it on the grid, exactly as the experiment binaries do.
+    let opts = match RunOptions::resolve(std::iter::empty(), &|k| std::env::var(k).ok()) {
+        Ok((opts, _)) => opts,
+        Err(e) => panic!("bad REUNION_* environment: {e}"),
+    };
     ExperimentGrid::builder("counters", "deterministic bench counters")
+        .run_options(&opts)
         .base(SystemConfig::small_test)
         .sample(SampleConfig::quick())
         .workloads(vec![

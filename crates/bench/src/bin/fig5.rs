@@ -15,6 +15,7 @@ fn main() {
         "fig5",
         "Normalized IPC of Strict and Reunion (10-cycle comparison latency)",
     )
+    .run_options(&opts)
     .sample(opts.sample())
     .workloads(workloads())
     .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])

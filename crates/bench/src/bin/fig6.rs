@@ -35,6 +35,7 @@ fn main() {
         "fig6",
         "Strict and Reunion vs comparison latency (normalized IPC)",
     )
+    .run_options(&opts)
     .sample(opts.sample())
     .workloads(workloads())
     .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])

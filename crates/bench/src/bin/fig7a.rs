@@ -22,6 +22,7 @@ fn main() {
         "fig7a",
         "Reunion normalized IPC per phantom strength (10-cycle latency)",
     )
+    .run_options(&opts)
     .sample(opts.sample())
     .workloads(workloads())
     .modes(&[ExecutionMode::Reunion])

@@ -37,6 +37,7 @@ fn main() {
         "fig7b",
         "Commercial average: hardware vs software-managed TLB (Reunion)",
     )
+    .run_options(&opts)
     .sample(opts.sample())
     .workloads(commercial_workloads())
     .modes(&[ExecutionMode::Reunion])

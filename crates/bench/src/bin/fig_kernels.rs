@@ -20,6 +20,7 @@ fn main() {
         "kernels",
         "Normalized IPC of Strict and Reunion on the real-code kernel suite",
     )
+    .run_options(&opts)
     .base(SystemConfig::kernel_pair)
     .sample(opts.sample())
     .workloads(kernel_workloads())

@@ -21,6 +21,7 @@ fn main() {
         "interval_ablation",
         "Reunion normalized IPC vs fingerprint interval (10-cycle latency)",
     )
+    .run_options(&opts)
     .sample(opts.sample())
     .workloads(workloads())
     .modes(&[ExecutionMode::Reunion])

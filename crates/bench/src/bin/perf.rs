@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use reunion_bench::{banner, workloads, Engine, Profile, RunOptions};
+use reunion_bench::{banner, workloads, RunOptions};
 use reunion_core::{ExecutionMode, SampleConfig, SystemConfig};
 use reunion_sim::{out_dir, ConfigPatch, ExperimentGrid};
 use reunion_workloads::Workload;
@@ -37,8 +37,7 @@ enum GridChoice {
 
 struct PerfOpts {
     grid: GridChoice,
-    profile: Profile,
-    engine: Engine,
+    run: RunOptions,
 }
 
 fn parse_args() -> Result<PerfOpts, String> {
@@ -64,11 +63,7 @@ fn parse_args() -> Result<PerfOpts, String> {
             return Err(format!("unrecognized argument {arg:?}"));
         }
     }
-    Ok(PerfOpts {
-        grid,
-        profile: run.profile,
-        engine: run.engine,
-    })
+    Ok(PerfOpts { grid, run })
 }
 
 fn parse_grid(s: &str) -> Result<GridChoice, String> {
@@ -82,12 +77,14 @@ fn parse_grid(s: &str) -> Result<GridChoice, String> {
 fn build_grid(opts: &PerfOpts) -> ExperimentGrid {
     match opts.grid {
         GridChoice::Fig5 => ExperimentGrid::builder("perf-fig5", "perf: fig5 reference grid")
-            .sample(opts.profile.sample())
+            .run_options(&opts.run)
+            .sample(opts.run.profile.sample())
             .workloads(workloads())
             .modes(&[ExecutionMode::Strict, ExecutionMode::Reunion])
             .build(),
         GridChoice::Counters => {
             ExperimentGrid::builder("perf-counters", "perf: counters reference grid")
+                .run_options(&opts.run)
                 .base(SystemConfig::small_test)
                 .sample(SampleConfig::quick())
                 .workloads(vec![
@@ -158,7 +155,10 @@ fn main() {
     let insns_per_sec = instructions as f64 / wall;
     let cycles_per_sec = cycles as f64 / wall;
     println!("grid               {} ({cells} cells)", grid.id());
-    println!("engine/profile     {}/{}", opts.engine, opts.profile);
+    println!(
+        "engine/profile     {}/{}",
+        opts.run.engine, opts.run.profile
+    );
     println!("wall seconds       {wall:.3}");
     println!("cells/sec          {cells_per_sec:.3}");
     println!("instructions/sec   {insns_per_sec:.0}");
@@ -183,8 +183,8 @@ fn main() {
             "}}\n",
         ),
         grid.id(),
-        opts.engine,
-        opts.profile,
+        opts.run.engine,
+        opts.run.profile,
         cells,
         wall,
         cells_per_sec,

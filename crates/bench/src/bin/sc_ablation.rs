@@ -34,6 +34,7 @@ fn main() {
         "sc_ablation",
         "Reunion commercial average under TSO vs sequential consistency",
     )
+    .run_options(&opts)
     .sample(opts.sample())
     .workloads(commercial_workloads())
     .modes(&[ExecutionMode::Reunion])

@@ -9,6 +9,7 @@ fn main() {
     banner("Table 2", "Application parameters (synthetic suite)");
     let grid = ExperimentGrid::builder("table2", "Application parameters (synthetic suite)")
         .metric(Metric::Static)
+        .run_options(&opts)
         .sample(opts.sample())
         .workloads(workloads())
         .modes(&[ExecutionMode::NonRedundant])

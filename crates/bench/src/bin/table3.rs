@@ -34,6 +34,7 @@ fn main() {
         "Input incoherence per 1M instructions by phantom strength; TLB misses",
     )
     .metric(Metric::Raw)
+    .run_options(&opts)
     .sample(opts.sample())
     .sample_override(
         "em3d",

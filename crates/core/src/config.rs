@@ -89,6 +89,11 @@ impl Engine {
     ///
     /// Panics on an unrecognized `REUNION_ENGINE` value — a typo must not
     /// silently run the wrong engine.
+    #[deprecated(
+        note = "SystemConfig constructors are env-free; resolve the engine once \
+                (e.g. via reunion_sim::RunOptions) and inject it with \
+                SystemConfig::with_engine"
+    )]
     pub fn from_env() -> Engine {
         match std::env::var("REUNION_ENGINE") {
             Ok(v) => v.parse().unwrap_or_else(|e| panic!("REUNION_ENGINE: {e}")),
@@ -121,7 +126,25 @@ impl std::str::FromStr for Engine {
 /// Full configuration of a simulated CMP.
 ///
 /// [`SystemConfig::table1`] reproduces the paper's system; tests use
-/// [`SystemConfig::small_test`] for speed.
+/// [`SystemConfig::small_test`] for speed. Every preset is a plain value —
+/// constructors never read the environment — and non-preset configurations
+/// are expressed by chaining the `with_*` builder methods:
+///
+/// ```
+/// use reunion_core::{ExecutionMode, SystemConfig};
+///
+/// let cfg = SystemConfig::table1(ExecutionMode::Reunion)
+///     .with_logical_processors(8)
+///     .with_check_bandwidth(2)
+///     .with_comparison_latency(20);
+/// assert_eq!(cfg.physical_cores(), 16);
+/// assert_eq!(cfg.check_bus_occupancy, 2);
+/// ```
+///
+/// Run-time concerns (engine selection, observability) are injected by the
+/// harness — `reunion_sim::RunOptions::apply` — or explicitly via
+/// [`with_engine`](Self::with_engine) /
+/// [`with_observability`](Self::with_observability).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
     /// Execution model.
@@ -132,6 +155,12 @@ pub struct SystemConfig {
     /// One-way fingerprint comparison latency between paired cores, in
     /// cycles (the x-axis of Figure 6).
     pub comparison_latency: u64,
+    /// Bus cycles each fingerprint message occupies the shared check bus
+    /// (reciprocal check bandwidth). `0` — the default everywhere the paper
+    /// is reproduced — is the *unmodeled* sentinel: every pair owns a
+    /// private comparison channel and nothing contends. The scaling study
+    /// sets it nonzero so many pairs' check traffic shares one channel.
+    pub check_bus_occupancy: u64,
     /// Memory hierarchy parameters.
     pub mem: MemConfig,
     /// TLB miss handling model.
@@ -145,11 +174,14 @@ pub struct SystemConfig {
     /// Master seed: programs and per-pair decisions derive from it.
     pub seed: u64,
     /// Timing engine (dense cycle stepping or event-driven time skipping).
-    /// Constructors read `REUNION_ENGINE`; outputs are engine-invariant.
+    /// Constructors default to [`Engine::Skip`]; outputs are
+    /// engine-invariant. Inject a run-time choice via
+    /// [`with_engine`](Self::with_engine) or `RunOptions::apply`.
     pub engine: Engine,
     /// Opt-in observability (latency histograms + bounded event traces).
-    /// Constructors read `REUNION_OBS`/`REUNION_TRACE_CAP`; off by default
-    /// so every deterministic output stays byte-stable.
+    /// Constructors default to off so every deterministic output stays
+    /// byte-stable; inject via [`with_observability`](Self::with_observability)
+    /// or `RunOptions::apply`.
     pub obs: ObsConfig,
 }
 
@@ -162,14 +194,15 @@ impl SystemConfig {
             mode,
             logical_processors: 4,
             comparison_latency: 10,
+            check_bus_occupancy: 0,
             mem: MemConfig::default(),
             tlb: TlbMode::default(),
             consistency: Consistency::Tso,
             phantom: PhantomStrength::Global,
             fingerprint_interval: 1,
             seed: 0x5EED_0001,
-            engine: Engine::from_env(),
-            obs: ObsConfig::from_env(),
+            engine: Engine::default(),
+            obs: ObsConfig::default(),
         }
     }
 
@@ -177,17 +210,10 @@ impl SystemConfig {
     /// unit and integration tests.
     pub fn small_test(mode: ExecutionMode) -> Self {
         SystemConfig {
-            mode,
             logical_processors: 2,
-            comparison_latency: 10,
             mem: MemConfig::small(),
-            tlb: TlbMode::default(),
-            consistency: Consistency::Tso,
-            phantom: PhantomStrength::Global,
-            fingerprint_interval: 1,
             seed: 0x5EED_0002,
-            engine: Engine::from_env(),
-            obs: ObsConfig::from_env(),
+            ..SystemConfig::table1(mode)
         }
     }
 
@@ -200,6 +226,62 @@ impl SystemConfig {
             seed: 0x5EED_0003,
             ..SystemConfig::table1(mode)
         }
+    }
+
+    /// Sets the logical-processor count (pairs in redundant modes).
+    ///
+    /// The memory system's directory supports at most 32 private L1s, so
+    /// redundant configurations top out at 16 logical processors.
+    pub fn with_logical_processors(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one logical processor");
+        self.logical_processors = n;
+        self
+    }
+
+    /// Sets the one-way fingerprint comparison latency in cycles.
+    pub fn with_comparison_latency(mut self, cycles: u64) -> Self {
+        self.comparison_latency = cycles;
+        self
+    }
+
+    /// Models a shared check bus: each fingerprint message occupies the
+    /// channel for `cycles_per_message` bus cycles (reciprocal bandwidth —
+    /// `1` = one message per cycle, `0` = unmodeled private channels, the
+    /// paper's configuration).
+    pub fn with_check_bandwidth(mut self, cycles_per_message: u64) -> Self {
+        self.check_bus_occupancy = cycles_per_message;
+        self
+    }
+
+    /// Sets the fingerprint summarization interval in instructions.
+    pub fn with_fingerprint_interval(mut self, instructions: u32) -> Self {
+        assert!(instructions >= 1, "fingerprints summarize >= 1 instruction");
+        self.fingerprint_interval = instructions;
+        self
+    }
+
+    /// Sets the master seed (programs and per-pair decisions derive from it).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the timing engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the observability configuration.
+    pub fn with_observability(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Replaces the memory hierarchy parameters.
+    pub fn with_mem(mut self, mem: MemConfig) -> Self {
+        self.mem = mem;
+        self
     }
 
     /// Total physical cores this configuration instantiates.
@@ -232,6 +314,35 @@ mod tests {
         assert_eq!(cfg.logical_processors, 2);
         assert_eq!(cfg.mem, MemConfig::default());
         assert_ne!(cfg.seed, SystemConfig::table1(ExecutionMode::Reunion).seed);
+    }
+
+    #[test]
+    fn constructors_are_env_free_and_builders_chain() {
+        // Presets are plain values: no REUNION_* variable can change them.
+        let cfg = SystemConfig::table1(ExecutionMode::Reunion);
+        assert_eq!(cfg.engine, Engine::default());
+        assert_eq!(cfg.obs, ObsConfig::default());
+        assert_eq!(
+            cfg.check_bus_occupancy, 0,
+            "check bus unmodeled at paper scale"
+        );
+
+        let grown = cfg
+            .with_logical_processors(16)
+            .with_comparison_latency(40)
+            .with_check_bandwidth(2)
+            .with_fingerprint_interval(8)
+            .with_seed(0xABCD)
+            .with_engine(Engine::Dense)
+            .with_mem(MemConfig::small());
+        assert_eq!(grown.logical_processors, 16);
+        assert_eq!(grown.physical_cores(), 32);
+        assert_eq!(grown.comparison_latency, 40);
+        assert_eq!(grown.check_bus_occupancy, 2);
+        assert_eq!(grown.fingerprint_interval, 8);
+        assert_eq!(grown.seed, 0xABCD);
+        assert_eq!(grown.engine, Engine::Dense);
+        assert_eq!(grown.mem, MemConfig::small());
     }
 
     #[test]

@@ -39,12 +39,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod checkbus;
 mod config;
 mod metrics;
 mod pair;
 mod sampling;
 mod system;
 
+pub use checkbus::CheckBus;
 pub use config::{Engine, ExecutionMode, SystemConfig};
 pub use metrics::{ClassSummary, Measurement, NormalizedResult};
 pub use pair::{PairDriver, PairStats, RecoveryPhase};

@@ -8,6 +8,8 @@ use reunion_kernel::{Cycle, EventHorizon};
 use reunion_mem::MemorySystem;
 use reunion_obs::{EventTrace, LatencyHistogram, TraceEvent, TraceKind};
 
+use crate::CheckBus;
+
 /// Which phase of the re-execution protocol a recovering pair is in
 /// (Figure 4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +43,9 @@ pub struct PairStats {
     pub sync_requests: Counter,
     /// Fingerprint intervals successfully compared.
     pub intervals_compared: Counter,
+    /// Cycles this pair's fingerprint messages spent queued behind the
+    /// shared check bus (always zero when the bus is unmodeled).
+    pub check_bus_waits: Counter,
     /// Check round-trip latencies (vocal interval reaching the check stage
     /// to its release grant), recorded only when observability is enabled.
     pub check_latency: LatencyHistogram,
@@ -59,6 +64,7 @@ impl PairStats {
             failures: Counter::new("failures"),
             sync_requests: Counter::new("sync_requests"),
             intervals_compared: Counter::new("intervals_compared"),
+            check_bus_waits: Counter::new("check_bus_waits"),
             check_latency: LatencyHistogram::new(),
             incoherence_gaps: LatencyHistogram::new(),
         }
@@ -73,6 +79,7 @@ impl PairStats {
         self.failures.reset();
         self.sync_requests.reset();
         self.intervals_compared.reset();
+        self.check_bus_waits.reset();
         self.check_latency = LatencyHistogram::new();
         self.incoherence_gaps = LatencyHistogram::new();
     }
@@ -230,7 +237,11 @@ impl PairDriver {
     }
 
     /// Advances the pair by one cycle.
-    pub fn tick(&mut self, now: Cycle, mem: &mut MemorySystem) {
+    ///
+    /// `bus` is the CMP's shared check bus; with the default unmodeled bus
+    /// (occupancy 0) every grant is the identity and the pair behaves as if
+    /// it owned a private comparison channel.
+    pub fn tick(&mut self, now: Cycle, mem: &mut MemorySystem, bus: &mut CheckBus) {
         if self.strict {
             self.vocal.drain_load_values_into(&mut self.lvq_xfer);
             self.mute.push_lvq(self.lvq_xfer.drain(..));
@@ -247,7 +258,7 @@ impl PairDriver {
                 self.begin_mismatch_recovery(now, mem);
             }
         } else {
-            self.compare_and_release(now, mem);
+            self.compare_and_release(now, mem, bus);
         }
         if self.phase != RecoveryPhase::Normal {
             self.drive_recovery(now, mem);
@@ -352,7 +363,7 @@ impl PairDriver {
         self.mute.drain_check_events_into(me, &mut self.mute_events);
     }
 
-    fn compare_and_release(&mut self, now: Cycle, mem: &mut MemorySystem) {
+    fn compare_and_release(&mut self, now: Cycle, mem: &mut MemorySystem, bus: &mut CheckBus) {
         loop {
             let (Some(v), Some(m)) = (self.vocal_events.front(), self.mute_events.front()) else {
                 return;
@@ -372,12 +383,44 @@ impl PairDriver {
                 && v.fingerprint.hash == m.fingerprint.hash
                 && v.fingerprint.count == m.fingerprint.count;
 
+            // Both fingerprints cross the shared check bus regardless of
+            // whether they match; each departure waits for a bus slot
+            // (identity when the bus is unmodeled) and then propagates for
+            // `comparison_latency`.
+            let v_sent = bus.grant(v.ready_at);
+            let m_sent = bus.grant(m.ready_at);
+            if bus.is_modeled() {
+                let queued =
+                    v_sent.saturating_since(v.ready_at) + m_sent.saturating_since(m.ready_at);
+                self.stats.check_bus_waits.add(queued);
+            }
+
             if matched {
                 let interval_id = v.fingerprint.interval_id;
                 // The cores swap fingerprints: each can retire once its
                 // partner's fingerprint has crossed the channel.
-                let release_v = v.ready_at.max(m.ready_at + self.comparison_latency);
-                let release_m = m.ready_at.max(v.ready_at + self.comparison_latency);
+                let mut release_v = v.ready_at.max(m_sent + self.comparison_latency);
+                let mut release_m = m.ready_at.max(v_sent + self.comparison_latency);
+                // A serializing instruction's release grant makes a return
+                // trip to the waiting core; that message shares the same
+                // bus. (The strict oracle keeps checking off the
+                // serializing path, so only Reunion pays here.)
+                if !self.strict && bus.is_modeled() {
+                    if v.serializing {
+                        let sent = bus.grant(release_v);
+                        self.stats
+                            .check_bus_waits
+                            .add(sent.saturating_since(release_v));
+                        release_v = sent;
+                    }
+                    if m.serializing {
+                        let sent = bus.grant(release_m);
+                        self.stats
+                            .check_bus_waits
+                            .add(sent.saturating_since(release_m));
+                        release_m = sent;
+                    }
+                }
                 self.vocal.grant(ReleaseGrant {
                     epoch: v.epoch,
                     interval_id,
@@ -410,7 +453,7 @@ impl PairDriver {
             } else {
                 // The difference becomes observable once both fingerprints
                 // have crossed the channel.
-                let detect_at = v.ready_at.max(m.ready_at) + self.comparison_latency;
+                let detect_at = v_sent.max(m_sent) + self.comparison_latency;
                 if now >= detect_at {
                     self.begin_mismatch_recovery(now, mem);
                 } else {
@@ -537,6 +580,7 @@ mod tests {
     struct Rig {
         mem: MemorySystem,
         pair: PairDriver,
+        bus: CheckBus,
         now: u64,
     }
 
@@ -562,13 +606,15 @@ mod tests {
             Rig {
                 mem,
                 pair: PairDriver::new(vocal, mute, 10, strict),
+                bus: CheckBus::new(0),
                 now: 0,
             }
         }
 
         fn run(&mut self, cycles: u64) {
             for _ in 0..cycles {
-                self.pair.tick(Cycle::new(self.now), &mut self.mem);
+                self.pair
+                    .tick(Cycle::new(self.now), &mut self.mem, &mut self.bus);
                 self.now += 1;
             }
         }
@@ -614,6 +660,29 @@ mod tests {
     }
 
     #[test]
+    fn congested_check_bus_slows_retirement() {
+        let mut private = Rig::new(counting_loop(), false);
+        private.run(4000);
+        let mut shared = Rig::new(counting_loop(), false);
+        // Severe reciprocal bandwidth: 8 bus cycles per fingerprint message,
+        // two messages per compared interval.
+        shared.bus = CheckBus::new(8);
+        shared.run(4000);
+        assert!(
+            shared.pair.retired_user() < private.pair.retired_user(),
+            "bus occupancy 8: {} vs private channel: {}",
+            shared.pair.retired_user(),
+            private.pair.retired_user()
+        );
+        assert!(shared.bus.messages() > 0);
+        assert!(
+            shared.pair.stats().check_bus_waits.value() > 0,
+            "a single pair saturates an occupancy-8 bus at interval 1"
+        );
+        assert_eq!(private.pair.stats().check_bus_waits.value(), 0);
+    }
+
+    #[test]
     fn serializing_instructions_cost_more_with_checking() {
         let serial_loop = vec![I::add_imm(r(1), r(1), 1), I::trap(), I::jump(0)];
         let mut rig = Rig::new(serial_loop, false);
@@ -649,6 +718,7 @@ mod tests {
         let mut mute = Core::new(cfg, program, ml1, 9);
         mute.set_mute(true);
         let mut pair = PairDriver::new(vocal, mute, 10, false);
+        let mut bus = CheckBus::new(0);
 
         let mut wrote = 0u64;
         for now in 0..60_000u64 {
@@ -658,7 +728,7 @@ mod tests {
                 wrote += 1;
                 mem.drain_store(Cycle::new(now), wl1, reunion_isa::Addr::new(0x4000), wrote);
             }
-            pair.tick(Cycle::new(now), &mut mem);
+            pair.tick(Cycle::new(now), &mut mem, &mut bus);
         }
         assert!(
             pair.stats().mismatches.value() > 0,
@@ -752,11 +822,12 @@ mod tests {
         let mut mute = Core::new(mcfg, program, ml1, 5);
         mute.set_mute(true);
         let mut pair = PairDriver::new(vocal, mute, 10, true);
+        let mut bus = CheckBus::new(0);
         for now in 0..30_000u64 {
             if now % 300 == 150 {
                 mem.drain_store(Cycle::new(now), wl1, reunion_isa::Addr::new(0x6000), now);
             }
-            pair.tick(Cycle::new(now), &mut mem);
+            pair.tick(Cycle::new(now), &mut mem, &mut bus);
         }
         assert_eq!(
             pair.stats().mismatches.value(),
@@ -798,7 +869,8 @@ mod tests {
         // time has not yet arrived.
         let mut deadline = None;
         for _ in 0..5_000 {
-            rig.pair.tick(Cycle::new(rig.now), &mut rig.mem);
+            rig.pair
+                .tick(Cycle::new(rig.now), &mut rig.mem, &mut rig.bus);
             rig.now += 1;
             if let Some(at) = rig.pair.pending_mismatch {
                 deadline = Some(at);

@@ -8,7 +8,7 @@ use reunion_mem::{MemorySystem, Owner};
 use reunion_obs::{EpisodeSummary, ObsReport, TraceEvent};
 use reunion_workloads::Workload;
 
-use crate::{Engine, ExecutionMode, PairDriver, SystemConfig};
+use crate::{CheckBus, Engine, ExecutionMode, PairDriver, SystemConfig};
 
 /// One logical processor: a single core, or a redundant pair.
 #[derive(Debug)]
@@ -102,6 +102,8 @@ impl SystemStats {
 pub struct CmpSystem {
     mem: MemorySystem,
     procs: Vec<Proc>,
+    /// Shared fingerprint check bus; unmodeled (identity) at paper scale.
+    check_bus: CheckBus,
     now: Cycle,
     window_start: Cycle,
     user_at_window_start: u64,
@@ -194,6 +196,7 @@ impl CmpSystem {
         CmpSystem {
             mem,
             procs,
+            check_bus: CheckBus::new(cfg.check_bus_occupancy),
             now: Cycle::ZERO,
             window_start: Cycle::ZERO,
             user_at_window_start: 0,
@@ -212,6 +215,11 @@ impl CmpSystem {
     /// The memory system (stats inspection).
     pub fn memory(&self) -> &MemorySystem {
         &self.mem
+    }
+
+    /// The shared check bus (contention-stats inspection).
+    pub fn check_bus(&self) -> &CheckBus {
+        &self.check_bus
     }
 
     /// Number of logical processors.
@@ -250,12 +258,15 @@ impl CmpSystem {
         self.skipped
     }
 
-    /// Advances the whole CMP by one cycle.
+    /// Advances the whole CMP by one cycle. Pairs tick in fixed
+    /// logical-processor order, which also fixes the order in which their
+    /// comparators are granted shared-check-bus slots — deterministic and
+    /// identical under both engines.
     pub fn tick(&mut self) {
         for proc in &mut self.procs {
             match proc {
                 Proc::Single(core) => core.tick(self.now, &mut self.mem),
-                Proc::Pair(pair) => pair.tick(self.now, &mut self.mem),
+                Proc::Pair(pair) => pair.tick(self.now, &mut self.mem, &mut self.check_bus),
             }
         }
         self.now += 1;
@@ -606,6 +617,7 @@ mod tests {
         CmpSystem {
             mem,
             procs: vec![Proc::Single(Box::new(core))],
+            check_bus: CheckBus::new(0),
             now: Cycle::ZERO,
             window_start: Cycle::ZERO,
             user_at_window_start: 0,

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod arbiter;
 mod cache;
 mod coherence;
 mod config;
@@ -50,9 +51,10 @@ mod phantom;
 mod stats;
 mod system;
 
+pub use arbiter::BankedArbiter;
 pub use cache::CacheArray;
 pub use coherence::{CoreId, DirEntry, L1Id, MesiState, Owner};
-pub use config::MemConfig;
+pub use config::{BandwidthScaling, MemConfig};
 pub use phantom::{garbage_word, PhantomStrength};
 pub use stats::MemStats;
 pub use system::{Access, MemorySystem, SyncOutcome};

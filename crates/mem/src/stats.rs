@@ -28,6 +28,14 @@ pub struct MemStats {
     pub writebacks: Counter,
     /// Mute writebacks/evictions ignored by the controller.
     pub mute_writebacks_ignored: Counter,
+    /// Cycles requests spent waiting for a bounded crossbar port
+    /// (always zero under the unmodeled `xbar_ports = 0` default).
+    pub xbar_port_waits: Counter,
+    /// Cycles requests spent waiting for a busy L2 bank.
+    pub bank_conflict_waits: Counter,
+    /// Requests that stalled at the crossbar because a bank's bounded
+    /// request queue was full (always zero under `bank_queue_depth = 0`).
+    pub bank_queue_stalls: Counter,
 }
 
 impl MemStats {
@@ -44,6 +52,9 @@ impl MemStats {
             invalidations: Counter::new("invalidations"),
             writebacks: Counter::new("writebacks"),
             mute_writebacks_ignored: Counter::new("mute_writebacks_ignored"),
+            xbar_port_waits: Counter::new("xbar_port_waits"),
+            bank_conflict_waits: Counter::new("bank_conflict_waits"),
+            bank_queue_stalls: Counter::new("bank_queue_stalls"),
         }
     }
 
@@ -59,6 +70,9 @@ impl MemStats {
         self.invalidations.reset();
         self.writebacks.reset();
         self.mute_writebacks_ignored.reset();
+        self.xbar_port_waits.reset();
+        self.bank_conflict_waits.reset();
+        self.bank_queue_stalls.reset();
     }
 
     /// L1 hit rate in `[0, 1]` (1.0 when there were no accesses).

@@ -11,7 +11,7 @@ use reunion_isa::{Addr, AtomicOp, SparseMemory};
 use reunion_kernel::{Cycle, EventHorizon, FastHashMap};
 
 use crate::{
-    garbage_word, CacheArray, DirEntry, L1Id, MemConfig, MemStats, MesiState, Owner,
+    garbage_word, BankedArbiter, CacheArray, DirEntry, L1Id, MemConfig, MemStats, MesiState, Owner,
     PhantomStrength,
 };
 
@@ -59,7 +59,10 @@ struct L1State {
 #[derive(Debug)]
 struct L2State {
     tags: CacheArray<DirEntry>,
-    bank_free: Vec<u64>,
+    /// Crossbar ports + bank queues + bank occupancy; under the default
+    /// `xbar_ports = 0` / `bank_queue_depth = 0` sentinels this is exactly
+    /// the historical scalar `bank_free` timestamp model.
+    arbiter: BankedArbiter,
 }
 
 /// The CMP memory hierarchy below the core pipelines.
@@ -83,7 +86,7 @@ impl MemorySystem {
     pub fn new(cfg: MemConfig) -> Self {
         let l2 = L2State {
             tags: CacheArray::new(cfg.l2_lines(), cfg.l2_assoc),
-            bank_free: vec![0; cfg.l2_banks],
+            arbiter: BankedArbiter::new(&cfg),
         };
         MemorySystem {
             cfg,
@@ -223,12 +226,11 @@ impl MemorySystem {
         }
     }
 
-    /// Occupies an L2 bank and returns the time the bank begins service.
+    /// Admits a request through the crossbar arbiter into an L2 bank and
+    /// returns the time the bank begins service.
     fn bank_service(&mut self, line: u64, request_at: u64) -> u64 {
         let bank = (line as usize) % self.cfg.l2_banks;
-        let start = self.l2.bank_free[bank].max(request_at);
-        self.l2.bank_free[bank] = start + self.cfg.bank_occupancy;
-        start
+        self.l2.arbiter.service(bank, request_at, &mut self.stats)
     }
 
     /// Looks up the L2 for a coherent fill, allocating on miss (inclusive
@@ -1035,6 +1037,26 @@ mod tests {
             second.done_at > first.done_at,
             "same-bank requests must serialize"
         );
+    }
+
+    #[test]
+    fn bounded_crossbar_port_serializes_cross_bank_misses() {
+        // Two same-cycle misses to *different* banks: the scalar model let
+        // them proceed independently; a single crossbar port serializes
+        // their injections.
+        let cfg = MemConfig::small().with_banks(4).with_xbar_ports(1);
+        let mut mem = MemorySystem::new(cfg);
+        let v0 = mem.register_l1(Owner::vocal(0));
+        let v1 = mem.register_l1(Owner::vocal(1));
+        let a = Addr::new(0x10_000);
+        let b = Addr::new(0x10_000 + reunion_isa::LINE_BYTES);
+        let first = mem.load(Cycle::ZERO, v0, a, PhantomStrength::Global);
+        let second = mem.load(Cycle::ZERO, v1, b, PhantomStrength::Global);
+        assert!(
+            second.done_at > first.done_at,
+            "one port must serialize cross-bank injections"
+        );
+        assert!(mem.stats().xbar_port_waits.value() >= 1);
     }
 
     #[test]

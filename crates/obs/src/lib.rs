@@ -366,6 +366,11 @@ impl ObsConfig {
     ///
     /// Panics on an unparseable `REUNION_TRACE_CAP`, matching how the other
     /// `REUNION_*` knobs fail fast on bad input.
+    #[deprecated(
+        note = "configuration construction is env-free; resolve observability once \
+                (e.g. via reunion_sim::RunOptions) and inject it with \
+                SystemConfig::with_observability or GridBuilder::run_options"
+    )]
     pub fn from_env() -> Self {
         let enabled = std::env::var("REUNION_OBS")
             .map(|v| v == "1")

@@ -1,9 +1,9 @@
 //! Declarative experiment grids.
 
-use reunion_core::{ExecutionMode, SampleConfig, SystemConfig};
+use reunion_core::{Engine, ExecutionMode, ObsConfig, SampleConfig, SystemConfig};
 use reunion_workloads::Workload;
 
-use crate::ConfigPatch;
+use crate::{ConfigPatch, RunOptions};
 
 /// What each grid cell measures.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -64,6 +64,9 @@ pub struct ExperimentGrid {
     sample: SampleConfig,
     sample_overrides: Vec<(String, SampleConfig)>,
     base: fn(ExecutionMode) -> SystemConfig,
+    engine: Engine,
+    obs: ObsConfig,
+    dump_traces: bool,
     cells: Vec<Cell>,
 }
 
@@ -78,6 +81,9 @@ impl ExperimentGrid {
             sample: SampleConfig::default(),
             sample_overrides: Vec::new(),
             base: SystemConfig::table1,
+            engine: Engine::default(),
+            obs: ObsConfig::default(),
+            dump_traces: false,
             workloads: Vec::new(),
             modes: vec![ExecutionMode::Reunion],
             patches: vec![ConfigPatch::baseline()],
@@ -125,15 +131,42 @@ impl ExperimentGrid {
         self.base
     }
 
+    /// The timing engine every cell simulates under (set by
+    /// [`GridBuilder::run_options`]; default: [`Engine::default`]).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The observability configuration every cell simulates under (set by
+    /// [`GridBuilder::run_options`]; default: off).
+    pub fn observability(&self) -> &ObsConfig {
+        &self.obs
+    }
+
+    /// Whether the runner writes retained event traces to
+    /// `TRACE_<id>_<cell>.jsonl` files. Only the command-line surface —
+    /// [`GridBuilder::run_options`] with observability enabled — turns
+    /// this on; a library caller enabling collection through
+    /// [`GridBuilder::observability`] gets the in-memory trace and the
+    /// report block without files appearing in the working directory.
+    pub fn dumps_traces(&self) -> bool {
+        self.dump_traces
+    }
+
     /// All cells in deterministic enumeration order.
     pub fn cells(&self) -> &[Cell] {
         &self.cells
     }
 
-    /// The fully-patched configuration for one cell.
+    /// The fully-patched configuration for one cell: base, then the cell's
+    /// patch, then the grid-wide engine/observability overlay (patches
+    /// sweep model parameters; how the cell is *simulated and observed* is
+    /// a property of the run, so the overlay is applied last and uniformly).
     pub fn cell_config(&self, cell: &Cell) -> SystemConfig {
         let mut cfg = (self.base)(cell.mode);
         cell.patch.apply(&mut cfg);
+        cfg.engine = self.engine;
+        cfg.obs = self.obs;
         cfg
     }
 }
@@ -147,6 +180,9 @@ pub struct GridBuilder {
     sample: SampleConfig,
     sample_overrides: Vec<(String, SampleConfig)>,
     base: fn(ExecutionMode) -> SystemConfig,
+    engine: Engine,
+    obs: ObsConfig,
+    dump_traces: bool,
     workloads: Vec<Workload>,
     modes: Vec<ExecutionMode>,
     patches: Vec<ConfigPatch>,
@@ -181,6 +217,43 @@ impl GridBuilder {
     /// [`SystemConfig::table1`]).
     pub fn base(mut self, base: fn(ExecutionMode) -> SystemConfig) -> Self {
         self.base = base;
+        self
+    }
+
+    /// Records the resolved run surface's per-system choices — timing
+    /// engine and observability — as the grid-wide overlay applied to
+    /// every cell's configuration (see
+    /// [`cell_config`](ExperimentGrid::cell_config)).
+    ///
+    /// The experiment binaries call this with their
+    /// [`RunOptions`] so `--engine` / `--obs` reach the simulated systems;
+    /// the execution-scoped choices (profile, threads, shard) are consumed
+    /// by the runner, not the grid. Enabling observability here — and only
+    /// here — also opts the run into `TRACE_*.jsonl` file dumps (see
+    /// [`ExperimentGrid::dumps_traces`]): trace files are part of the
+    /// command-line artifact contract, not of in-memory collection.
+    pub fn run_options(mut self, opts: &RunOptions) -> Self {
+        self.engine = opts.engine;
+        self.obs = opts.observability;
+        self.dump_traces = opts.observability.enabled;
+        self
+    }
+
+    /// Sets the timing engine overlay directly (default:
+    /// [`Engine::default`]). [`run_options`](Self::run_options) is the
+    /// usual entry point; this exists for embedders sweeping engines
+    /// without a command line.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the observability overlay directly (default: off). Unlike
+    /// [`run_options`](Self::run_options) this is in-memory only: cells
+    /// collect histograms and the bounded trace, the report carries the
+    /// observability block, and no `TRACE_*.jsonl` files are written.
+    pub fn observability(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -259,6 +332,9 @@ impl GridBuilder {
             sample: self.sample,
             sample_overrides: self.sample_overrides,
             base: self.base,
+            engine: self.engine,
+            obs: self.obs,
+            dump_traces: self.dump_traces,
             cells,
         }
     }
@@ -308,6 +384,63 @@ mod tests {
         assert_eq!(cfg.comparison_latency, 33);
         // Everything else is small_test.
         assert_eq!(cfg.logical_processors, 2);
+    }
+
+    #[test]
+    fn run_options_overlay_reaches_every_cell_config() {
+        let opts = RunOptions {
+            engine: Engine::Dense,
+            observability: ObsConfig {
+                enabled: true,
+                trace_cap: 7,
+            },
+            ..RunOptions::default()
+        };
+        let grid = ExperimentGrid::builder("t", "t")
+            .base(SystemConfig::small_test)
+            .run_options(&opts)
+            .workloads(two_workloads())
+            .patches(vec![ConfigPatch::new("lat=5").latency(5)])
+            .build();
+        assert_eq!(grid.engine(), Engine::Dense);
+        assert!(grid.observability().enabled);
+        assert!(grid.dumps_traces(), "the CLI surface opts into trace files");
+        for cell in grid.cells() {
+            let cfg = grid.cell_config(cell);
+            assert_eq!(cfg.engine, Engine::Dense);
+            assert!(cfg.obs.enabled);
+            assert_eq!(cfg.obs.trace_cap, 7);
+            assert_eq!(cfg.comparison_latency, 5, "patches still apply");
+        }
+    }
+
+    #[test]
+    fn default_overlay_is_env_free_and_off() {
+        let grid = ExperimentGrid::builder("t", "t")
+            .base(SystemConfig::small_test)
+            .workloads(two_workloads())
+            .build();
+        assert_eq!(grid.engine(), Engine::default());
+        assert!(!grid.observability().enabled);
+        assert!(!grid.dumps_traces());
+    }
+
+    #[test]
+    fn programmatic_observability_stays_in_memory() {
+        let grid = ExperimentGrid::builder("t", "t")
+            .base(SystemConfig::small_test)
+            .observability(ObsConfig {
+                enabled: true,
+                trace_cap: 16,
+            })
+            .workloads(two_workloads())
+            .build();
+        assert!(grid.observability().enabled, "collection is on");
+        assert!(
+            !grid.dumps_traces(),
+            "library callers must not litter the working directory"
+        );
+        assert!(grid.cell_config(&grid.cells()[0]).obs.enabled);
     }
 
     #[test]

@@ -22,14 +22,18 @@
 //! manifest paths, …); callers that accept no extra arguments treat a
 //! non-empty leftover list as a usage error.
 //!
-//! After resolving, a driver calls [`RunOptions::apply_env`] once to export
-//! the winning choices back into the process environment, because the
-//! lower layers deliberately read their knobs from the environment at
-//! construction time (so worker threads and
-//! [`SystemConfig`](reunion_core::SystemConfig) values built anywhere in
-//! the process agree with the command line).
+//! After resolving, a driver injects the winning choices where they are
+//! needed: [`RunOptions::apply`] stamps the engine and observability
+//! selection onto a [`SystemConfig`] (the constructors are env-free —
+//! they never read `REUNION_*` themselves), and
+//! [`GridBuilder::run_options`](crate::GridBuilder::run_options) does the
+//! same for every cell of an experiment grid. [`RunOptions::apply_env`]
+//! additionally exports the choices back into the process environment for
+//! the legacy env-reading entry points ([`Runner::from_env`],
+//! [`ShardSpec::from_env`]) and for child processes spawned by the
+//! dispatcher.
 
-use reunion_core::{Engine, ObsConfig, Profile, SampleConfig};
+use reunion_core::{Engine, ObsConfig, Profile, SampleConfig, SystemConfig};
 
 use crate::runner::Runner;
 use crate::shard::ShardSpec;
@@ -189,11 +193,26 @@ impl RunOptions {
         Self::resolve(std::env::args().skip(1), &|k| std::env::var(k).ok())
     }
 
+    /// Stamps the per-system choices — timing engine and observability —
+    /// onto a [`SystemConfig`].
+    ///
+    /// The config constructors are env-free; this (or the equivalent
+    /// [`SystemConfig::with_engine`] / [`SystemConfig::with_observability`]
+    /// builders) is how a resolved command line reaches a configuration.
+    /// Grid-based drivers normally don't call it directly:
+    /// [`GridBuilder::run_options`](crate::GridBuilder::run_options)
+    /// records the same overlay on the grid, which applies it to every
+    /// cell's config.
+    pub fn apply(&self, cfg: &mut SystemConfig) {
+        cfg.engine = self.engine;
+        cfg.obs = self.observability;
+    }
+
     /// Exports every winning choice back into the process environment, so
-    /// the layers that read their knobs from `REUNION_*` at construction
-    /// time — [`SystemConfig`](reunion_core::SystemConfig) builders on any
-    /// worker thread, [`Runner::from_env`], [`ShardSpec::from_env`] —
-    /// observe exactly what this resolution decided.
+    /// the legacy env-reading entry points — [`Runner::from_env`],
+    /// [`ShardSpec::from_env`] — and any child process spawned by the
+    /// dispatcher observe exactly what this resolution decided.
+    /// ([`SystemConfig`] itself is env-free; see [`RunOptions::apply`].)
     pub fn apply_env(&self) {
         std::env::set_var("REUNION_PROFILE", self.profile.to_string());
         std::env::set_var("REUNION_ENGINE", self.engine.to_string());
@@ -405,6 +424,19 @@ mod tests {
         assert!(!opts(&["--threads", "4"], &[]).runner().is_serial());
         let both = opts(&["--serial", "--threads", "4"], &[]);
         assert!(both.runner().is_serial(), "serial outranks a thread cap");
+    }
+
+    #[test]
+    fn apply_stamps_engine_and_observability_onto_a_config() {
+        use reunion_core::ExecutionMode;
+        let o = opts(&["--engine", "dense", "--obs", "--trace-cap", "16"], &[]);
+        let mut cfg = SystemConfig::table1(ExecutionMode::Reunion);
+        assert_eq!(cfg.engine, Engine::Skip, "env-free constructor default");
+        assert!(!cfg.obs.enabled);
+        o.apply(&mut cfg);
+        assert_eq!(cfg.engine, Engine::Dense);
+        assert!(cfg.obs.enabled);
+        assert_eq!(cfg.obs.trace_cap, 16);
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub struct ConfigPatch {
     fingerprint_interval: Option<u32>,
     logical_processors: Option<usize>,
     seed: Option<u64>,
+    check_bandwidth: Option<u64>,
+    xbar_ports: Option<usize>,
 }
 
 impl ConfigPatch {
@@ -97,6 +99,20 @@ impl ConfigPatch {
         self
     }
 
+    /// Overrides the shared check-bus occupancy — cycles per fingerprint
+    /// message, the reciprocal of the bus bandwidth (`0` = unmodeled
+    /// private channels). The second axis of the scaling study.
+    pub fn check_bandwidth(mut self, cycles_per_message: u64) -> Self {
+        self.check_bandwidth = Some(cycles_per_message);
+        self
+    }
+
+    /// Overrides the number of L1↔L2 crossbar ports (`0` = unbounded).
+    pub fn xbar_ports(mut self, ports: usize) -> Self {
+        self.xbar_ports = Some(ports);
+        self
+    }
+
     /// Applies the overrides to `cfg`, leaving unset fields untouched.
     pub fn apply(&self, cfg: &mut SystemConfig) {
         if let Some(v) = self.comparison_latency {
@@ -119,6 +135,12 @@ impl ConfigPatch {
         }
         if let Some(v) = self.seed {
             cfg.seed = v;
+        }
+        if let Some(v) = self.check_bandwidth {
+            cfg.check_bus_occupancy = v;
+        }
+        if let Some(v) = self.xbar_ports {
+            cfg.mem.xbar_ports = v;
         }
     }
 }
@@ -151,5 +173,20 @@ mod tests {
         assert_eq!(cfg.fingerprint_interval, 50);
         // Untouched fields keep Table 1 values.
         assert_eq!(cfg.logical_processors, 4);
+    }
+
+    #[test]
+    fn scaling_knobs_patch_bus_and_crossbar() {
+        let mut cfg = SystemConfig::table1(ExecutionMode::Reunion);
+        ConfigPatch::new("p8:bw2")
+            .logical_processors(8)
+            .check_bandwidth(2)
+            .xbar_ports(4)
+            .apply(&mut cfg);
+        assert_eq!(cfg.logical_processors, 8);
+        assert_eq!(cfg.check_bus_occupancy, 2);
+        assert_eq!(cfg.mem.xbar_ports, 4);
+        // The unset mem knobs keep their Table 1 values.
+        assert_eq!(cfg.mem.bank_queue_depth, 0);
     }
 }

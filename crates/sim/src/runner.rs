@@ -4,7 +4,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use reunion_core::{measure, normalized_ipc, ObsConfig, TraceEvent};
+use reunion_core::{measure, normalized_ipc, TraceEvent};
 
 use crate::grid::{Cell, ExperimentGrid, Metric};
 use crate::json::JsonWriter;
@@ -151,7 +151,7 @@ impl Runner {
             cells: grid.cells().len(),
             sample: *grid.sample(),
             sample_overrides: grid.sample_overrides().to_vec(),
-            obs: ObsConfig::from_env(),
+            obs: *grid.observability(),
         };
         let manifest = ShardManifest::create_or_resume(dir, header)?;
         let owned = shard.cell_indices(grid.cells().len());
@@ -280,13 +280,13 @@ fn run_cell(grid: &ExperimentGrid, cell: &Cell) -> RunRecord {
         Metric::Normalized => {
             let cfg = grid.cell_config(cell);
             let n = normalized_ipc(&cfg, &cell.workload, sample);
-            dump_trace(grid.id(), cell.index, &n.model.trace);
+            dump_trace(grid, cell.index, &n.model.trace);
             Outcome::Normalized(Box::new(NormalizedSummary::from(&n)))
         }
         Metric::Raw => {
             let cfg = grid.cell_config(cell);
             let m = measure(&cfg, &cell.workload, sample);
-            dump_trace(grid.id(), cell.index, &m.trace);
+            dump_trace(grid, cell.index, &m.trace);
             Outcome::Raw(Box::new(MeasureSummary::from(&m)))
         }
         Metric::Static => Outcome::Static(StaticSummary::of(&cell.workload)),
@@ -302,15 +302,19 @@ fn run_cell(grid: &ExperimentGrid, cell: &Cell) -> RunRecord {
 
 /// Writes a cell's retained check-protocol trace to
 /// `TRACE_<grid>_<cell>.jsonl` in [`out_dir`], one compact JSON object per
-/// event. Dumping is part of the env-driven artifact contract
-/// (`REUNION_OBS`, like `REUNION_OUT_DIR`): a library caller who enables
-/// observability programmatically gets in-memory collection and the report
-/// block without files appearing in the working directory. No file is
-/// written when the trace is empty; a dump failure is a warning, never a
-/// run failure, because the trace is a diagnostic side channel and must not
-/// perturb the deterministic report pipeline.
-fn dump_trace(grid_id: &str, cell_index: usize, trace: &[TraceEvent]) {
-    if trace.is_empty() || !ObsConfig::from_env().enabled {
+/// event. Dumping follows the grid's command-line artifact contract
+/// ([`ExperimentGrid::dumps_traces`], set by
+/// [`GridBuilder::run_options`](crate::GridBuilder::run_options) from
+/// `--obs` / `REUNION_OBS=1`): a library caller who enables collection
+/// through [`GridBuilder::observability`](crate::GridBuilder::observability)
+/// or on individual [`SystemConfig`](reunion_core::SystemConfig) values
+/// gets in-memory collection and the report block without files appearing
+/// in the working directory. No file is written when the trace is empty; a
+/// dump failure is a warning, never a run failure, because the trace is a
+/// diagnostic side channel and must not perturb the deterministic report
+/// pipeline.
+fn dump_trace(grid: &ExperimentGrid, cell_index: usize, trace: &[TraceEvent]) {
+    if trace.is_empty() || !grid.dumps_traces() {
         return;
     }
     let mut text = String::new();
@@ -325,7 +329,7 @@ fn dump_trace(grid_id: &str, cell_index: usize, trace: &[TraceEvent]) {
         text.push_str(&w.finish());
         text.push('\n');
     }
-    let path = out_dir().join(format!("TRACE_{grid_id}_{cell_index}.jsonl"));
+    let path = out_dir().join(format!("TRACE_{}_{cell_index}.jsonl", grid.id()));
     if let Err(e) = std::fs::write(&path, text) {
         eprintln!("warning: could not write trace {}: {e}", path.display());
     }

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use reunion_core::{PairDriver, RecoveryPhase};
+use reunion_core::{CheckBus, PairDriver, RecoveryPhase};
 use reunion_cpu::{Core, CoreConfig};
 use reunion_isa::{Addr, AluOp, Instruction as I, Program, RegId};
 use reunion_kernel::Cycle;
@@ -47,6 +47,7 @@ fn main() {
     let mut mute = Core::new(cfg, program, mute_l1, 7);
     mute.set_mute(true);
     let mut pair = PairDriver::new(vocal, mute, 10, false);
+    let mut bus = CheckBus::new(0); // private (unmodeled) check channels
 
     let mut writes = 0u64;
     for now in 0..100_000u64 {
@@ -56,7 +57,7 @@ fn main() {
             writes += 1;
             mem.drain_store(Cycle::new(now), writer_l1, Addr::new(0x4000), writes);
         }
-        pair.tick(Cycle::new(now), &mut mem);
+        pair.tick(Cycle::new(now), &mut mem, &mut bus);
     }
 
     let stats = pair.stats();

@@ -22,7 +22,6 @@ use std::process::exit;
 use std::time::Duration;
 
 use reunion::testkit::dispatch_grid;
-use reunion_core::ObsConfig;
 use reunion_sim::{env_flag, measure_cell, out_dir, ManifestHeader, ShardManifest, ShardSpec};
 
 fn env_count(name: &str) -> Option<usize> {
@@ -56,7 +55,7 @@ fn main() {
         cells: grid.cells().len(),
         sample: *grid.sample(),
         sample_overrides: grid.sample_overrides().to_vec(),
-        obs: ObsConfig::from_env(),
+        obs: *grid.observability(),
     };
     let dir = out_dir();
     let mut manifest = match ShardManifest::create_or_resume(&dir, header) {

@@ -172,6 +172,43 @@ fn serializing_stall_counters_survive_skipping() {
     assert_eq!(face(&dense), face(&skip));
 }
 
+/// The scaling study's contention models — banked-L2 arbitration behind
+/// bounded crossbar ports and a shared check bus — keep the engine
+/// invariance contract at many-pair machine sizes. Bus grants only happen
+/// inside ticked comparison cycles and the arbiter's round-robin cursor
+/// only advances on arbitration, so time skipping must not reorder either.
+#[test]
+fn many_pair_contention_is_engine_invariant() {
+    use reunion_mem::MemConfig;
+    let workload = Workload::by_name("apache").expect("suite workload");
+    for pairs in [8usize, 16] {
+        let mut cfg = SystemConfig::small_test(ExecutionMode::Reunion)
+            .with_logical_processors(pairs)
+            .with_check_bandwidth(2)
+            .with_comparison_latency(10)
+            .with_mem(
+                MemConfig::small()
+                    .with_xbar_ports(2)
+                    .with_bank_queue_depth(2),
+            );
+
+        cfg.engine = Engine::Dense;
+        let dense = measure(&cfg, &workload, &sample());
+        cfg.engine = Engine::Skip;
+        let skip = measure(&cfg, &workload, &sample());
+
+        assert_eq!(
+            face(&dense),
+            face(&skip),
+            "{pairs} pairs under contention diverged between engines"
+        );
+        assert!(
+            dense.totals.user_instructions > 0,
+            "{pairs}-pair machine must make forward progress on a saturated bus"
+        );
+    }
+}
+
 /// The skip engine clips at `run` boundaries, so arbitrary window layouts
 /// — including a window cut mid-skip — see identical per-window stats.
 #[test]

@@ -61,15 +61,19 @@ impl Drop for Scratch {
     }
 }
 
-/// Base config with the observability layer switched on programmatically —
-/// no environment mutation, so parallel test threads cannot race.
+/// The observability configuration under test. Grids inject it through
+/// [`reunion_sim::GridBuilder::observability`] (the grid-level overlay
+/// stamps every cell), direct `measure` calls through [`obs_base`] —
+/// no environment mutation either way, so parallel test threads cannot
+/// race.
+const OBS_ON: ObsConfig = ObsConfig {
+    enabled: true,
+    trace_cap: 64,
+};
+
+/// Base config with the observability layer switched on programmatically.
 fn obs_base(mode: ExecutionMode) -> SystemConfig {
-    let mut cfg = SystemConfig::small_test(mode);
-    cfg.obs = ObsConfig {
-        enabled: true,
-        trace_cap: 64,
-    };
-    cfg
+    SystemConfig::small_test(mode).with_observability(OBS_ON)
 }
 
 fn small_sample() -> SampleConfig {
@@ -82,7 +86,8 @@ fn small_sample() -> SampleConfig {
 
 fn obs_grid(id: &str) -> ExperimentGrid {
     ExperimentGrid::builder(id, "observability property grid")
-        .base(obs_base)
+        .observability(OBS_ON)
+        .base(SystemConfig::small_test)
         .sample(small_sample())
         .workloads(vec![
             Workload::by_name("sparse").unwrap(),
@@ -157,10 +162,7 @@ fn manifest_progress_aggregates_obs_summaries() {
         cells: grid.cells().len(),
         sample: *grid.sample(),
         sample_overrides: grid.sample_overrides().to_vec(),
-        obs: ObsConfig {
-            enabled: true,
-            trace_cap: 64,
-        },
+        obs: OBS_ON,
     };
     let mut manifest = ShardManifest::create_or_resume(&scratch.0, header).expect("manifest");
     for (i, cell) in grid.cells().iter().enumerate() {

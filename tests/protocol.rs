@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use reunion_core::{CmpSystem, ExecutionMode, PairDriver, RecoveryPhase, SystemConfig};
+use reunion_core::{CheckBus, CmpSystem, ExecutionMode, PairDriver, RecoveryPhase, SystemConfig};
 use reunion_cpu::{Core, CoreConfig};
 use reunion_isa::{Addr, AluOp, Instruction as I, Program, RegId};
 use reunion_kernel::Cycle;
@@ -44,6 +44,7 @@ fn incoherence_alone_never_produces_unsafe_state() {
     let mut mute = Core::new(cfg, program, ml1, 3);
     mute.set_mute(true);
     let mut pair = PairDriver::new(vocal, mute, 10, false);
+    let mut bus = CheckBus::new(0);
 
     for now in 0..80_000u64 {
         if now % 421 == 0 {
@@ -52,7 +53,7 @@ fn incoherence_alone_never_produces_unsafe_state() {
         if now % 677 == 0 {
             mem.drain_store(Cycle::new(now), wl1, Addr::new(0x9040), now * 3);
         }
-        pair.tick(Cycle::new(now), &mut mem);
+        pair.tick(Cycle::new(now), &mut mem, &mut bus);
     }
 
     assert!(
@@ -92,6 +93,7 @@ fn reexecution_protocol_guarantees_forward_progress() {
     let mut mute = Core::new(cfg, program, ml1, 11);
     mute.set_mute(true);
     let mut pair = PairDriver::new(vocal, mute, 10, false);
+    let mut bus = CheckBus::new(0);
 
     let mut last_retired = 0;
     for now in 0..120_000u64 {
@@ -99,7 +101,7 @@ fn reexecution_protocol_guarantees_forward_progress() {
         if now % 150 == 75 {
             mem.drain_store(Cycle::new(now), wl1, Addr::new(0xA000), now);
         }
-        pair.tick(Cycle::new(now), &mut mem);
+        pair.tick(Cycle::new(now), &mut mem, &mut bus);
         if now % 20_000 == 19_999 {
             let retired = pair.retired_user();
             assert!(
@@ -140,9 +142,10 @@ fn phase_two_repairs_retired_divergence() {
     let mut mute = Core::new(cfg, program, ml1, 13);
     mute.set_mute(true);
     let mut pair = PairDriver::new(vocal, mute, 10, false);
+    let mut bus = CheckBus::new(0);
 
     for now in 0..3_000u64 {
-        pair.tick(Cycle::new(now), &mut mem);
+        pair.tick(Cycle::new(now), &mut mem, &mut bus);
     }
     // Simulate aliasing having let divergent state retire: the mute's load
     // base register now points somewhere else entirely.
@@ -151,7 +154,7 @@ fn phase_two_repairs_retired_divergence() {
     pair.mute_mut().copy_arch_state_from(&corrupted);
 
     for now in 3_000..60_000u64 {
-        pair.tick(Cycle::new(now), &mut mem);
+        pair.tick(Cycle::new(now), &mut mem, &mut bus);
     }
     assert!(pair.stats().phase2_recoveries.value() >= 1);
     assert_eq!(pair.stats().failures.value(), 0);
