@@ -57,10 +57,15 @@ impl Bencher {
 
 impl Criterion {
     fn new() -> Self {
-        // Same env convention as the experiment binaries: REUNION_PROFILE is
-        // canonical, REUNION_FAST=1 the legacy spelling of "fast".
-        let quick = matches!(std::env::var("REUNION_PROFILE").as_deref(), Ok("fast"))
-            || reunion_sim::env_flag("REUNION_FAST");
+        // Same typed resolution as the experiment binaries; a bench
+        // harness has no flags of its own, so only the `REUNION_*`
+        // environment (with its canonical precedence, legacy
+        // `REUNION_FAST` spelling included) feeds the choice.
+        let opts = match RunOptions::resolve(std::iter::empty(), &|k| std::env::var(k).ok()) {
+            Ok((opts, _)) => opts,
+            Err(e) => panic!("bad REUNION_* environment: {e}"),
+        };
+        let quick = opts.profile == reunion_core::Profile::Fast;
         Criterion {
             samples: if quick { 3 } else { 10 },
             budget: Duration::from_millis(if quick { 5 } else { 50 }),

@@ -25,6 +25,11 @@
 //! * `--serial` / `REUNION_SERIAL=1` — single-threaded execution
 //!   (determinism checks).
 //! * `--threads <n>` / `REUNION_THREADS=<n>` — cap the worker threads.
+//! * `--intracell-threads <n>` / `REUNION_INTRACELL_THREADS=<n>` — compute
+//!   workers *inside* each simulated system's tick (the cell-level worker
+//!   count shrinks so the product stays within the thread budget). Purely
+//!   a scheduling choice: artifacts are byte-identical for every setting
+//!   (gated by the intra-cell parity CI steps).
 //! * `--obs` / `REUNION_OBS=1` and `--trace-cap <n>` /
 //!   `REUNION_TRACE_CAP=<n>` — opt into the observability layer (latency
 //!   histograms, stall/skip summaries and the bounded per-pair event

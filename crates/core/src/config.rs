@@ -183,6 +183,14 @@ pub struct SystemConfig {
     /// byte-stable; inject via [`with_observability`](Self::with_observability)
     /// or `RunOptions::apply`.
     pub obs: ObsConfig,
+    /// Worker threads for the intra-cell parallel compute phase (`0` or
+    /// `1` = run everything on the simulating thread, the default).
+    /// Outputs are thread-count-invariant: only memory-free per-core work
+    /// runs off-thread, and all shared-resource arbitration commits
+    /// serially in logical-processor order. Inject via
+    /// [`with_intracell_threads`](Self::with_intracell_threads) or
+    /// `RunOptions::apply`.
+    pub intracell_threads: usize,
 }
 
 impl SystemConfig {
@@ -203,6 +211,7 @@ impl SystemConfig {
             seed: 0x5EED_0001,
             engine: Engine::default(),
             obs: ObsConfig::default(),
+            intracell_threads: 0,
         }
     }
 
@@ -230,8 +239,8 @@ impl SystemConfig {
 
     /// Sets the logical-processor count (pairs in redundant modes).
     ///
-    /// The memory system's directory supports at most 32 private L1s, so
-    /// redundant configurations top out at 16 logical processors.
+    /// The memory system's directory supports at most 64 private L1s, so
+    /// redundant configurations top out at 32 logical processors.
     pub fn with_logical_processors(mut self, n: usize) -> Self {
         assert!(n >= 1, "need at least one logical processor");
         self.logical_processors = n;
@@ -275,6 +284,12 @@ impl SystemConfig {
     /// Sets the observability configuration.
     pub fn with_observability(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Sets the intra-cell compute-phase worker count (`0` disables).
+    pub fn with_intracell_threads(mut self, threads: usize) -> Self {
+        self.intracell_threads = threads;
         self
     }
 
@@ -334,9 +349,11 @@ mod tests {
             .with_fingerprint_interval(8)
             .with_seed(0xABCD)
             .with_engine(Engine::Dense)
-            .with_mem(MemConfig::small());
+            .with_mem(MemConfig::small())
+            .with_intracell_threads(4);
         assert_eq!(grown.logical_processors, 16);
         assert_eq!(grown.physical_cores(), 32);
+        assert_eq!(grown.intracell_threads, 4);
         assert_eq!(grown.comparison_latency, 40);
         assert_eq!(grown.check_bus_occupancy, 2);
         assert_eq!(grown.fingerprint_interval, 8);

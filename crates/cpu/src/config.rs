@@ -81,6 +81,12 @@ pub struct CoreConfig {
     /// LVQ-style slack execution keeps the comparison off the critical
     /// path.
     pub serializing_round_trip: bool,
+    /// L1 hit latency in cycles, charged by loads that never reach the
+    /// memory system (store-buffer forwards and strict-LVQ consumption).
+    /// Must match the memory system's configured hit latency; caching it
+    /// here keeps those bindings memory-free, so a pure compute phase can
+    /// run them off-thread.
+    pub l1_hit_latency: u64,
 }
 
 impl Default for CoreConfig {
@@ -100,6 +106,7 @@ impl Default for CoreConfig {
             fingerprint_width: 16,
             check_latency: 10,
             serializing_round_trip: true,
+            l1_hit_latency: 2,
         }
     }
 }
@@ -115,6 +122,12 @@ impl CoreConfig {
     /// consistency model.
     pub fn store_serializes(&self) -> bool {
         matches!(self.consistency, Consistency::Sc)
+    }
+
+    /// Sets the cached L1 hit latency (must match the memory system).
+    pub fn with_l1_hit_latency(mut self, cycles: u64) -> Self {
+        self.l1_hit_latency = cycles;
+        self
     }
 }
 

@@ -13,10 +13,15 @@
 //! * [`DelayQueue`] — a cycle-indexed delivery queue used to model fixed
 //!   latencies (fingerprint channels, memory replies, crossbar hops), with a
 //!   [`peek_next_ready`](DelayQueue::peek_next_ready) accessor for
-//!   event-driven engines.
+//!   event-driven engines. Internally a three-tier calendar queue: `O(1)`
+//!   push/pop for near-future deliveries, heap tiers for the overflow.
 //! * [`EventHorizon`] — the fold a time-skipping engine uses to combine
 //!   per-component "earliest activity" reports into the next cycle worth
 //!   simulating.
+//! * [`HorizonTree`] — the indexed form of the same horizon: a tournament
+//!   tree over per-component bounds with `O(log P)` update, `O(1)` minimum,
+//!   and pruned ready-set extraction, for engines that tick many components
+//!   selectively.
 //! * [`hash`] — a fixed-seed fast hasher ([`FastHashMap`]) for the
 //!   simulator's hot point-lookup maps, where SipHash's DoS resistance is
 //!   pure overhead.
@@ -47,6 +52,7 @@ mod horizon;
 mod rng;
 mod smallbuf;
 pub mod stats;
+mod tree;
 
 pub use cycle::Cycle;
 pub use delay::DelayQueue;
@@ -54,3 +60,4 @@ pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use horizon::EventHorizon;
 pub use rng::SimRng;
 pub use smallbuf::InlineVec;
+pub use tree::HorizonTree;

@@ -102,7 +102,7 @@ impl MesiState {
 /// caches" rule.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DirEntry {
-    sharers: u32,
+    sharers: u64,
     owner: Option<L1Id>,
 }
 
@@ -116,9 +116,9 @@ impl DirEntry {
     ///
     /// # Panics
     ///
-    /// Panics if more than 32 vocal L1s are registered.
+    /// Panics if more than 64 vocal L1s are registered.
     pub fn add_sharer(&mut self, l1: L1Id) {
-        assert!(l1.0 < 32, "directory supports at most 32 vocal L1s");
+        assert!(l1.0 < 64, "directory supports at most 64 vocal L1s");
         self.sharers |= 1 << l1.0;
     }
 
@@ -154,7 +154,7 @@ impl DirEntry {
     /// Iterates over all sharers except `except`.
     pub fn sharers_except(&self, except: L1Id) -> impl Iterator<Item = L1Id> + '_ {
         let mask = self.sharers & !(1 << except.0);
-        (0..32u32)
+        (0..64u64)
             .filter(move |i| mask & (1 << i) != 0)
             .map(|i| L1Id(i as usize))
     }

@@ -102,9 +102,9 @@ impl MemorySystem {
     ///
     /// # Panics
     ///
-    /// Panics if more than 32 L1s are registered (directory bitmap limit).
+    /// Panics if more than 64 L1s are registered (directory bitmap limit).
     pub fn register_l1(&mut self, owner: Owner) -> L1Id {
-        assert!(self.l1s.len() < 32, "at most 32 private L1s supported");
+        assert!(self.l1s.len() < 64, "at most 64 private L1s supported");
         let id = L1Id(self.l1s.len());
         self.l1s.push(L1State {
             owner,
@@ -245,7 +245,7 @@ impl MemorySystem {
             let ready = bank_start + self.cfg.l2_hit_latency + self.cfg.dram_latency;
             if let Some((victim_line, victim_dir)) = self.l2.tags.insert(line, DirEntry::new()) {
                 // Inclusive L2: back-invalidate vocal L1 copies of the victim.
-                for s in victim_dir.sharers_except(L1Id(usize::MAX & 31)) {
+                for s in victim_dir.sharers_except(L1Id(usize::MAX & 63)) {
                     if let Some(state) = self.l1s[s.0].tags.invalidate(victim_line) {
                         if state == MesiState::Modified {
                             self.stats.writebacks.incr();

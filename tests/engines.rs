@@ -209,6 +209,67 @@ fn many_pair_contention_is_engine_invariant() {
     }
 }
 
+/// Serial ↔ intra-cell-parallel byte-identity at 8, 16 and 32 pairs with
+/// every contention knob on — banked L2 behind bounded crossbar ports, a
+/// shared check bus, observability collecting — under both engines. The
+/// compute/commit split moves only memory-free work onto worker threads
+/// and commits serially in logical-processor order, so *everything* must
+/// agree: every counter, the observability histograms, the retained trace,
+/// and even `skipped_cycles` (same engine on both sides). Worker counts
+/// are drawn from the seeded stream so reruns replay exactly.
+#[test]
+fn intracell_parallel_compute_is_byte_identical() {
+    use reunion_core::ObsConfig;
+    use reunion_mem::MemConfig;
+    let mut rng = SimRng::seed_from(prop_seed() ^ 0x1AC3_11E1);
+    let workload = Workload::by_name("apache").expect("suite workload");
+    let small = SampleConfig {
+        warmup: 3_000,
+        window: 3_000,
+        windows: 2,
+    };
+    for pairs in [8usize, 16, 32] {
+        for engine in [Engine::Dense, Engine::Skip] {
+            let mut cfg = SystemConfig::small_test(ExecutionMode::Reunion)
+                .with_logical_processors(pairs)
+                .with_check_bandwidth(2)
+                .with_comparison_latency(10)
+                .with_mem(
+                    MemConfig::small()
+                        .with_xbar_ports(2)
+                        .with_bank_queue_depth(2),
+                );
+            cfg.engine = engine;
+            cfg.obs = ObsConfig {
+                enabled: true,
+                trace_cap: 8,
+            };
+            cfg.seed = rng.next_u64();
+
+            cfg.intracell_threads = 0;
+            let serial = measure(&cfg, &workload, &small);
+            cfg.intracell_threads = 2 + (rng.next_u64() % 4) as usize;
+            let parallel = measure(&cfg, &workload, &small);
+
+            assert_eq!(
+                face(&serial),
+                face(&parallel),
+                "{pairs} pairs under {engine}: intra-cell compute diverged"
+            );
+            assert_eq!(serial.skipped_cycles, parallel.skipped_cycles);
+            assert_eq!(serial.obs, parallel.obs, "{pairs} pairs {engine}: obs");
+            assert_eq!(
+                serial.trace, parallel.trace,
+                "{pairs} pairs {engine}: trace"
+            );
+            assert!(
+                serial.totals.user_instructions > 0,
+                "{pairs}-pair machine must make forward progress"
+            );
+        }
+    }
+}
+
 /// The skip engine clips at `run` boundaries, so arbitrary window layouts
 /// — including a window cut mid-skip — see identical per-window stats.
 #[test]
